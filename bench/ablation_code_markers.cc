@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Ablation for paper Section 4.1.3: code-marker capacity and cost.
+ *
+ * (1) Capacity: with n GPIO lines allocated to the code-marker
+ *     function, EDB can distinguish 2^n - 1 watchpoint ids.
+ * (2) Cost: "the main energy cost is the target device holding a
+ *     GPIO pin high for one cycle... we measured the cost of this
+ *     GPIO-based signaling to be negligible". We run the
+ *     activity-recognition app with and without watchpoints on
+ *     harvested power and compare iteration throughput and success.
+ */
+
+#include <cstdio>
+#include <set>
+
+#include "apps/activity.hh"
+#include "bench/common.hh"
+#include "mcu/mmio_map.hh"
+
+using namespace edb;
+
+namespace {
+
+struct RunStats
+{
+    std::uint64_t attempted;
+    std::uint64_t completed;
+};
+
+RunStats
+runActivity(bool with_watchpoints, std::uint64_t seed)
+{
+    namespace lay = apps::activity_layout;
+    apps::ActivityOptions options;
+    options.withWatchpoints = with_watchpoints;
+    bench::Rig rig(seed);
+    rig.wisp.flash(apps::buildActivityApp(options));
+    rig.board.setStream("watchpoints", true);
+    rig.wisp.start();
+    rig.sim.runFor(10 * sim::oneSec);
+    return {rig.wisp.mcu().debugRead32(lay::startedAddr),
+            rig.wisp.mcu().debugRead32(lay::totalAddr)};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation: code-marker line count vs watchpoint "
+                  "capacity");
+    std::printf("%8s %22s\n", "lines", "distinct watchpoints");
+    for (unsigned n = 1; n <= 8; ++n) {
+        target::WispConfig config;
+        config.debug.markerLines = n;
+        sim::Simulator simulator(3000 + n);
+        energy::TheveninHarvester supply(3.0, 200.0);
+        target::Wisp wisp(simulator, "wisp", &supply, nullptr,
+                          config);
+        std::printf("%8u %22u\n", n,
+                    wisp.debugPort().maxMarkerId());
+    }
+    std::printf("(2^n - 1, paper Section 4.1.3)\n");
+
+    // Alias check: ids beyond the capacity fold onto the lines.
+    {
+        target::WispConfig config;
+        config.debug.markerLines = 2;
+        sim::Simulator simulator(3100);
+        energy::TheveninHarvester supply(3.0, 200.0);
+        target::Wisp wisp(simulator, "wisp", &supply, nullptr,
+                          config);
+        std::set<std::uint32_t> seen;
+        wisp.debugPort().addMarkerListener(
+            [&seen](std::uint32_t id, sim::Tick) { seen.insert(id); });
+        for (std::uint32_t id = 0; id < 16; ++id)
+            wisp.memoryMap().write32(mcu::mmio::marker, id);
+        std::printf("2 lines observed ids:");
+        for (auto id : seen)
+            std::printf(" %u", id);
+        std::printf(" (id 0 emits no pulse; higher ids alias)\n");
+    }
+
+    bench::banner("Ablation: watchpoint signalling cost on harvested "
+                  "power");
+    auto without = runActivity(false, 3201);
+    auto with = runActivity(true, 3202);
+    auto rate = [](const RunStats &s) {
+        return s.attempted
+                   ? 100.0 * double(s.completed) / double(s.attempted)
+                   : 0.0;
+    };
+    std::printf("%-22s %12s %12s %10s\n", "", "attempted",
+                "completed", "success");
+    std::printf("%-22s %12llu %12llu %9.1f%%\n",
+                "no watchpoints",
+                (unsigned long long)without.attempted,
+                (unsigned long long)without.completed, rate(without));
+    std::printf("%-22s %12llu %12llu %9.1f%%\n",
+                "3 watchpoints/iter",
+                (unsigned long long)with.attempted,
+                (unsigned long long)with.completed, rate(with));
+    std::printf("\npaper: \"practically energy-interference-free\" — "
+                "throughput and success\nrate are statistically "
+                "indistinguishable with markers enabled.\n");
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Ablation: Dewdrop-style energy-aware dispatch (paper Section 6.2
+ * related work) on top of the EDB substrate.
+ *
+ * A fixed-cost task runs in a loop under marginal harvesting.
+ * Opportunistic dispatch starts the task whenever the device is on;
+ * energy-aware dispatch first sleep-waits (uA draw) until Vcap
+ * reaches a threshold. Sweeping the threshold shows the Dewdrop
+ * trade-off: too low tears tasks, too high wastes charge-cycle
+ * headroom; the knee is exactly what EDB's watchpoint energy profile
+ * (Section 5.3.3) lets a developer find.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hh"
+#include "isa/assembler.hh"
+#include "runtime/libedb.hh"
+#include "runtime/scheduler.hh"
+
+using namespace edb;
+
+namespace {
+
+struct Result
+{
+    std::uint32_t attempted = 0;
+    std::uint32_t completed = 0;
+    double rate() const
+    {
+        return attempted ? double(completed) / attempted : 0.0;
+    }
+};
+
+Result
+runWithThreshold(unsigned adc_code, std::uint64_t seed)
+{
+    std::string dispatch;
+    if (adc_code > 0) {
+        dispatch = "    la   r1, " + std::to_string(adc_code) +
+                   "\n    call dw_wait_energy\n";
+    }
+    std::string source = runtime::programHeader() + R"(
+main:
+)" + dispatch + R"(
+    la   r0, 0x5004
+    ldw  r1, [r0]
+    addi r1, r1, 1
+    stw  r1, [r0]
+    la   r2, 40000             ; ~160k cycles of task work
+__task:
+    addi r2, r2, -1
+    cmpi r2, 0
+    bne  __task
+    la   r0, 0x5000
+    ldw  r1, [r0]
+    addi r1, r1, 1
+    stw  r1, [r0]
+    br   main
+)" + runtime::dewdropSource() +
+                         runtime::libedbSource();
+
+    bench::Rig rig(seed, 30.0, 1.05);
+    rig.wisp.flash(isa::assemble(source));
+    rig.wisp.start();
+    rig.sim.runFor(25 * sim::oneSec);
+    Result out;
+    out.completed = rig.wisp.mcu().debugRead32(0x5000);
+    out.attempted = rig.wisp.mcu().debugRead32(0x5004);
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation: Dewdrop-style energy-aware dispatch "
+                  "(40 ms task, marginal harvesting, 25 s)");
+    std::printf("%12s %10s %12s %12s %10s\n", "threshold", "volts",
+                "attempted", "completed", "success");
+
+    struct Point
+    {
+        unsigned code;
+        const char *label;
+    };
+    int seed = 6000;
+    for (Point p : {Point{0, "none"}, Point{2600, "1.90 V"},
+                    Point{2870, "2.10 V"}, Point{3100, "2.27 V"},
+                    Point{3300, "2.42 V"}}) {
+        Result r = runWithThreshold(p.code, ++seed);
+        std::printf("%12u %10s %12u %12u %9.0f%%\n", p.code, p.label,
+                    r.attempted, r.completed, r.rate() * 100.0);
+    }
+    std::printf(
+        "\nno threshold: tasks start whenever the device boots and "
+        "often tear.\nhigher thresholds buy completion reliability; "
+        "throughput peaks at the knee\nwhere one task's energy cost "
+        "(EDB-profiled, Fig 11) fits the headroom\nbetween the "
+        "threshold and brown-out. (Dewdrop, paper Section 6.2.)\n");
+    return 0;
+}

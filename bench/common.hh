@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared rig setup and table-printing helpers for the benchmark
+ * harnesses. Each bench binary regenerates one table or figure from
+ * the paper's evaluation (Section 5); see DESIGN.md for the index
+ * and EXPERIMENTS.md for recorded results.
+ */
+
+#ifndef EDB_BENCH_COMMON_HH
+#define EDB_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "edb/board.hh"
+#include "energy/harvester.hh"
+#include "rfid/channel.hh"
+#include "rfid/reader.hh"
+#include "sim/simulator.hh"
+#include "target/wisp.hh"
+
+namespace edb::bench {
+
+/** Standard experimental rig: WISP on RF power with EDB attached. */
+struct Rig
+{
+    sim::Simulator sim;
+    energy::RfHarvester rf;
+    std::unique_ptr<rfid::RfChannel> channel;
+    std::unique_ptr<rfid::RfidReader> reader;
+    target::Wisp wisp;
+    edbdbg::EdbBoard board;
+
+    /**
+     * @param seed RNG seed.
+     * @param tx_dbm Reader transmit power (paper: 30 dBm).
+     * @param distance_m Reader distance (paper: 1 m).
+     * @param with_rfid Instantiate the air interface + reader.
+     */
+    explicit Rig(std::uint64_t seed = 1, double tx_dbm = 30.0,
+                 double distance_m = 1.0, bool with_rfid = false,
+                 edbdbg::EdbConfig edb_config = {},
+                 target::WispConfig wisp_config = {})
+        : sim(seed),
+          rf(tx_dbm, distance_m),
+          channel(with_rfid ? std::make_unique<rfid::RfChannel>(
+                                  sim, "channel")
+                            : nullptr),
+          reader(with_rfid ? std::make_unique<rfid::RfidReader>(
+                                 sim, "reader", *channel)
+                           : nullptr),
+          wisp(sim, "wisp", &rf, channel.get(), wisp_config),
+          board(sim, "edb", wisp, channel.get(), edb_config)
+    {}
+};
+
+/** Section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/** Sub-banner. */
+inline void
+note(const std::string &text)
+{
+    std::printf("--- %s\n", text.c_str());
+}
+
+} // namespace edb::bench
+
+#endif // EDB_BENCH_COMMON_HH

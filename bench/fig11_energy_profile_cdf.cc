@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Regenerates paper Figure 11: the CDF of the per-iteration energy
+ * cost of the activity-recognition application under the three
+ * output mechanisms (no print / UART printf / EDB printf).
+ *
+ * The profile is computed exactly as the paper describes
+ * (Section 5.3.3): "the energy profile was calculated from the
+ * difference between energy level snapshots taken by watchpoints" —
+ * here, consecutive iteration-start watchpoints (id 1), with the
+ * energy the debugger injected during restores added back so the
+ * curve reflects the target's own expenditure.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/activity.hh"
+#include "bench/common.hh"
+#include "trace/stats.hh"
+
+using namespace edb;
+
+namespace {
+
+trace::SampleSet
+profileVariant(apps::ActivityOutput output, std::uint64_t seed,
+               sim::Tick duration)
+{
+    apps::ActivityOptions options;
+    options.output = output;
+    bench::Rig rig(seed);
+    rig.wisp.flash(apps::buildActivityApp(options));
+    rig.board.setStream("watchpoints", true);
+    rig.wisp.start();
+    rig.sim.runFor(duration);
+
+    const double e_max = rig.wisp.power().maxEnergy();
+    const double cap = rig.wisp.power().config().capacitanceF;
+    auto power_events =
+        rig.board.traceBuffer().ofKind(trace::Kind::PowerEvent);
+    auto restores =
+        rig.board.traceBuffer().ofKind(trace::Kind::Generic);
+    auto wps = rig.board.traceBuffer().ofKind(trace::Kind::Watchpoint);
+
+    auto reboot_between = [&power_events](sim::Tick a, sim::Tick b) {
+        for (const auto &ev : power_events) {
+            if (ev.when > a && ev.when < b)
+                return true;
+        }
+        return false;
+    };
+    auto compensation_in = [&restores, cap](sim::Tick a, sim::Tick b) {
+        double joules = 0.0;
+        for (const auto &ev : restores) {
+            if (ev.text == "restore" && ev.when > a && ev.when < b)
+                joules += 0.5 * cap * (ev.b * ev.b - ev.a * ev.a);
+        }
+        return joules;
+    };
+
+    trace::SampleSet samples;
+    const trace::Record *prev = nullptr;
+    for (const auto &wp : wps) {
+        if (wp.id != apps::activity_ids::wpIterStart)
+            continue;
+        if (prev && !reboot_between(prev->when, wp.when)) {
+            double de =
+                0.5 * cap * (prev->a * prev->a - wp.a * wp.a) +
+                compensation_in(prev->when, wp.when);
+            double dt = sim::millisFromTicks(wp.when - prev->when);
+            if (dt > 0 && dt < 100.0)
+                samples.add(de / e_max * 100.0);
+        }
+        prev = &wp;
+    }
+    return samples;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 11: CDF of per-iteration energy cost "
+                  "(% of 47 uF capacity)");
+    constexpr sim::Tick duration = 10 * sim::oneSec;
+
+    auto none = profileVariant(apps::ActivityOutput::None, 51,
+                               duration);
+    auto uart = profileVariant(apps::ActivityOutput::UartPrintf, 52,
+                               duration);
+    auto edbp = profileVariant(apps::ActivityOutput::EdbPrintf, 53,
+                               duration);
+
+    std::printf("samples: no-print %zu, uart %zu, edb %zu\n",
+                none.count(), uart.count(), edbp.count());
+    std::printf("medians: no-print %.2f%%, uart %.2f%%, edb %.2f%%\n",
+                none.median(), uart.median(), edbp.median());
+
+    std::printf("\n%12s %10s %10s %10s\n", "energy_pct",
+                "P(no_print)", "P(uart)", "P(edb)");
+    // Common x-axis spanning all three distributions.
+    double lo = std::min({none.quantile(0.0), uart.quantile(0.0),
+                          edbp.quantile(0.0)});
+    double hi = std::max({none.quantile(1.0), uart.quantile(1.0),
+                          edbp.quantile(1.0)});
+    constexpr int points = 40;
+    for (int i = 0; i <= points; ++i) {
+        double x = lo + (hi - lo) * i / points;
+        std::printf("%12.2f %10.3f %10.3f %10.3f\n", x,
+                    none.cdfAt(x), uart.cdfAt(x), edbp.cdfAt(x));
+    }
+    std::printf("\npaper shape (Fig 11): the UART-printf curve sits "
+                "clearly to the right of\nno-print (each iteration "
+                "costs more energy); the EDB-printf curve hugs the\n"
+                "no-print curve because the debugger hides the "
+                "output's energy cost.\n");
+    return 0;
+}

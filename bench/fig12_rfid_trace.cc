@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Regenerates paper Figure 12 (Section 5.3.4): incoming and outgoing
+ * RFID messages correlated with the target's energy level.
+ *
+ * The WISP RFID firmware decodes reader queries in software and
+ * backscatters its EPC. EDB monitors the RF data lines externally —
+ * its decoder sees every frame, including ones the target missed
+ * while charging — and pairs the message stream with the energy
+ * trace. Reported: response rate and replies/second (paper: "the
+ * application responded 86% of the time for an average of 13
+ * replies per second"), plus a distance sweep for tuning in
+ * different RF environments.
+ */
+
+#include <cstdio>
+
+#include "apps/rfid_firmware.hh"
+#include "bench/common.hh"
+
+using namespace edb;
+
+namespace {
+
+struct RfidRun
+{
+    double responseRate = 0.0;
+    double repliesPerSec = 0.0;
+    std::uint64_t queries = 0;
+    std::uint64_t replies = 0;
+    std::uint64_t corrupt = 0;
+};
+
+RfidRun
+runAt(double distance_m, sim::Tick duration, std::uint64_t seed,
+      bench::Rig **keep_rig = nullptr)
+{
+    static std::unique_ptr<bench::Rig> kept;
+    auto rig = std::make_unique<bench::Rig>(seed, 30.0, distance_m,
+                                            /*with_rfid=*/true);
+    rig->wisp.flash(apps::buildRfidFirmware());
+    rig->board.setStream("rfid", true);
+    rig->board.setStream("energy", true);
+    rig->reader->start();
+    rig->wisp.start();
+    rig->sim.runFor(duration);
+
+    RfidRun out;
+    out.queries = rig->reader->queriesSent();
+    out.replies = rig->reader->repliesReceived();
+    out.corrupt = rig->channel->framesCorrupted();
+    out.responseRate = rig->reader->responseRate();
+    out.repliesPerSec =
+        double(out.replies) / sim::secondsFromTicks(duration);
+    if (keep_rig) {
+        kept = std::move(rig);
+        *keep_rig = kept.get();
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 12: RFID messages correlated with energy "
+                  "level");
+
+    bench::Rig *rig = nullptr;
+    auto main_run = runAt(0.84, 20 * sim::oneSec, 1201, &rig);
+    std::printf("reader queries: %llu, tag replies: %llu, corrupted "
+                "frames: %llu\n",
+                (unsigned long long)main_run.queries,
+                (unsigned long long)main_run.replies,
+                (unsigned long long)main_run.corrupt);
+    std::printf("response rate: %.0f%%   replies/second: %.1f\n",
+                main_run.responseRate * 100.0,
+                main_run.repliesPerSec);
+    std::printf("(paper: 86%% response rate, ~13 replies per "
+                "second)\n");
+
+    // Correlated message/energy stream: what EDB's external decoder
+    // delivers (Fig 12's dot rows + energy curve).
+    bench::note("message stream excerpt with concurrent Vcap");
+    std::printf("%10s %8s %6s %-14s %s\n", "time_ms", "vcap_V", "dir",
+                "message", "corrupt");
+    const auto &records = rig->board.traceBuffer().all();
+    // Find the energy sample nearest each RFID record.
+    int printed = 0;
+    double last_vcap = 0.0;
+    for (const auto &r : records) {
+        if (r.kind == trace::Kind::EnergySample) {
+            last_vcap = r.a;
+            continue;
+        }
+        if (r.kind != trace::Kind::RfidMessage)
+            continue;
+        if (r.when < 5 * sim::oneSec)
+            continue;
+        std::printf("%10.1f %8.3f %6s %-14s %s\n",
+                    sim::millisFromTicks(r.when), last_vcap,
+                    r.b > 0.5 ? "tx" : "rx", r.text.c_str(),
+                    r.a > 0.5 ? "yes" : "");
+        if (++printed >= 30)
+            break;
+    }
+
+    // Firmware-side counters: every decoded query was answered.
+    std::printf("\nfirmware counters: decoded %u commands, sent %u "
+                "replies\n",
+                rig->wisp.mcu().debugRead32(
+                    apps::rfid_layout::decodedAddr),
+                rig->wisp.mcu().debugRead32(
+                    apps::rfid_layout::repliedAddr));
+
+    bench::banner("RF-environment sweep (response rate vs reader "
+                  "distance)");
+    std::printf("%12s %12s %14s\n", "distance_m", "resp_rate",
+                "replies_per_s");
+    for (double d : {0.6, 0.7, 0.8, 0.82, 0.85, 0.9, 1.0, 1.2}) {
+        auto run = runAt(d, 8 * sim::oneSec, 1300 + int(d * 10));
+        std::printf("%12.1f %11.0f%% %14.1f\n", d,
+                    run.responseRate * 100.0, run.repliesPerSec);
+    }
+    std::printf("\nharvestable energy falls with distance (paper "
+                "Section 5.1), so the tag\nspends more time "
+                "recharging and the response rate drops.\n");
+    return 0;
+}

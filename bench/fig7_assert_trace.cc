@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Regenerates paper Figure 7 (and the Section 5.3.1 case study):
+ * the memory-corrupting intermittence bug in the linked-list
+ * application, without and with EDB's intermittence-aware assert.
+ *
+ * Top half (no assert): the main-loop GPIO toggles in early
+ * charge-discharge cycles, then stops after the wild-pointer write —
+ * and never recovers across reboots.
+ *
+ * Bottom half (with assert): when the list invariant breaks, EDB
+ * halts the program, tethers the target to continuous power
+ * (capacitor rises to the supply level) and opens an interactive
+ * session in which the stale tail pointer is visible.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/linked_list.hh"
+#include "baseline/oscilloscope.hh"
+#include "bench/common.hh"
+
+using namespace edb;
+
+namespace {
+
+void
+printWave(const baseline::Oscilloscope &scope, sim::Tick from,
+          sim::Tick to, sim::Tick step)
+{
+    std::printf("%10s %8s %10s %8s\n", "time_ms", "vcap_V",
+                "main_loop", "tether");
+    for (sim::Tick t = from; t <= to; t += step) {
+        std::printf("%10.1f %8.3f %10.0f %8.0f\n",
+                    sim::millisFromTicks(t), scope.valueAt(0, t),
+                    scope.valueAt(1, t), scope.valueAt(2, t));
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    namespace lay = apps::linked_list_layout;
+
+    bench::banner("Figure 7 (top): linked-list app WITHOUT assert");
+    {
+        bench::Rig rig(707);
+        rig.wisp.flash(apps::buildLinkedListApp());
+        baseline::Oscilloscope scope(rig.sim, "scope",
+                                     500 * sim::oneUs);
+        scope.addChannel("vcap", [&] {
+            return rig.wisp.power().voltageNoAdvance();
+        });
+        scope.addChannel("main_loop",
+                         [&] { return rig.wisp.gpio().pin(0) ? 1 : 0; });
+        scope.addChannel("tether",
+                         [&] { return rig.board.tethered() ? 1 : 0; });
+        // Full-rate edge log of the main-loop pin (the scope's table
+        // below is decimated for display).
+        std::vector<sim::Tick> toggles;
+        rig.wisp.gpio().addListener(
+            [&toggles](unsigned pin, bool level, sim::Tick when) {
+                if (pin == 0 && level)
+                    toggles.push_back(when);
+            });
+        scope.start();
+        rig.wisp.start();
+
+        // Run until the fault has occurred and several more cycles
+        // have shown that the device never recovers.
+        sim::Tick fault_time = -1;
+        mcu::McuFault fault_kind = mcu::McuFault::None;
+        for (int chunk = 0; chunk < 600; ++chunk) {
+            rig.sim.runFor(100 * sim::oneMs);
+            if (fault_time < 0 && rig.wisp.mcu().faultCount() > 0) {
+                fault_time = rig.sim.now();
+                fault_kind = rig.wisp.mcu().fault();
+            }
+            if (fault_time >= 0 &&
+                rig.sim.now() > fault_time + sim::oneSec) {
+                break;
+            }
+        }
+        if (fault_time < 0) {
+            std::printf("bug did not manifest in the time budget\n");
+            return 1;
+        }
+        std::printf("wild-pointer fault (%s) first hit by %.1f ms; "
+                    "faults since: %llu (one per reboot: the device "
+                    "never recovers)\n",
+                    mcu::mcuFaultName(fault_kind),
+                    sim::millisFromTicks(fault_time),
+                    (unsigned long long)rig.wisp.mcu().faultCount());
+
+        auto toggles_in = [&toggles](sim::Tick from, sim::Tick to) {
+            std::size_t n = 0;
+            for (sim::Tick t : toggles)
+                n += t >= from && t <= to;
+            return n;
+        };
+        sim::Tick window = 400 * sim::oneMs;
+        std::printf("main-loop toggles in first %lld ms after boot: "
+                    "%zu\n",
+                    (long long)(window / sim::oneMs),
+                    toggles_in(0, sim::oneSec + window));
+        std::printf("main-loop toggles in last  %lld ms: %zu "
+                    "(paper: \"mysteriously stops running\")\n",
+                    (long long)(window / sim::oneMs),
+                    toggles_in(rig.sim.now() - window, rig.sim.now()));
+
+        bench::note("early cycles (loop alive)");
+        printWave(scope, 0, 300 * sim::oneMs, 10 * sim::oneMs);
+        bench::note("after the fault (loop dead across reboots)");
+        printWave(scope, rig.sim.now() - 300 * sim::oneMs,
+                  rig.sim.now(), 10 * sim::oneMs);
+    }
+
+    bench::banner("Figure 7 (bottom): WITH intermittence-aware assert");
+    {
+        apps::LinkedListOptions options;
+        options.withAssert = true;
+        bench::Rig rig(708);
+        rig.wisp.flash(apps::buildLinkedListApp(options));
+        baseline::Oscilloscope scope(rig.sim, "scope",
+                                     500 * sim::oneUs);
+        scope.addChannel("vcap", [&] {
+            return rig.wisp.power().voltageNoAdvance();
+        });
+        scope.addChannel("main_loop",
+                         [&] { return rig.wisp.gpio().pin(0) ? 1 : 0; });
+        scope.addChannel("tether",
+                         [&] { return rig.board.tethered() ? 1 : 0; });
+        scope.start();
+        rig.wisp.start();
+
+        if (!rig.board.waitForSession(60 * sim::oneSec)) {
+            std::printf("assert did not fire in the time budget\n");
+            return 1;
+        }
+        auto *session = rig.board.session();
+        std::printf("assert id %u failed at %.1f ms; EDB tethered the "
+                    "target (keep-alive)\n",
+                    session->id(),
+                    sim::millisFromTicks(rig.sim.now()));
+        std::printf("target state: %s, Vcap %.3f V (rising to the "
+                    "tethered supply)\n",
+                    mcu::mcuStateName(rig.wisp.state()),
+                    rig.wisp.power().voltage());
+
+        // Interactive diagnosis: the tail pointer names a node whose
+        // next pointer is non-NULL -- the stale-tail inconsistency.
+        auto tail = session->read32(lay::tailPtrAddr);
+        if (tail) {
+            auto tail_next = session->read32(*tail + lay::nodeNextOff);
+            std::printf("tailptr = 0x%04x, tail->next = 0x%04x "
+                        "(invariant requires NULL)\n",
+                        *tail, tail_next.value_or(0));
+            if (tail_next && *tail_next != 0) {
+                auto last_prev = session->read32(
+                    *tail_next + lay::nodePrevOff);
+                std::printf("node 0x%04x is the real last element "
+                            "(prev = 0x%04x): the tail pointer is "
+                            "stale after an interrupted append\n",
+                            *tail_next, last_prev.value_or(0));
+            }
+        }
+        // Let the tether ramp show in the trace before resuming.
+        rig.board.pumpFor(60 * sim::oneMs);
+        bench::note("trace around the assert (tether engages)");
+        printWave(scope, rig.sim.now() - 300 * sim::oneMs,
+                  rig.sim.now(), 10 * sim::oneMs);
+        session->resume();
+        rig.board.waitPassive(sim::oneSec);
+        std::printf("resumed; restored Vcap to %.3f V (saved %.3f V)\n",
+                    rig.board.lastRestoredVolts(),
+                    rig.board.lastSavedVolts());
+    }
+    return 0;
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Regenerates paper Figure 9 (Section 5.3.2): the debug-build
+ * consistency check starves the main loop once the list grows long
+ * enough; wrapping the check in EDB energy guards restores progress.
+ *
+ * Part 1 (no guards): the Fibonacci app's debug build runs on
+ * harvested power until the check alone consumes an entire
+ * charge-discharge cycle. Reported: the list length at starvation
+ * (paper: ~555 items).
+ *
+ * Part 2 (with guards): the same app, list pre-seeded beyond the
+ * starvation length; the check runs on tethered power between
+ * guards, and the main loop keeps appending.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/fibonacci.hh"
+#include "bench/common.hh"
+
+using namespace edb;
+
+namespace {
+
+namespace lay = apps::fibonacci_layout;
+
+/** Pre-populate a consistent Fibonacci list of n nodes in FRAM. */
+void
+seedList(target::Wisp &wisp, unsigned n)
+{
+    auto &core = wisp.mcu();
+    std::uint32_t a = 1, b = 1;
+    std::uint32_t prev = lay::headAddr;
+    core.debugWrite32(lay::headAddr + lay::nodeNextOff, 0);
+    core.debugWrite32(lay::headAddr + lay::nodePrevOff, 0);
+    for (unsigned i = 1; i <= n; ++i) {
+        std::uint32_t node = lay::poolAddr + (i - 1) * 16;
+        std::uint32_t fib = i <= 2 ? 1 : a + b;
+        if (i > 2) {
+            a = b;
+            b = fib;
+        }
+        core.debugWrite32(node + lay::nodeNextOff, 0);
+        core.debugWrite32(node + lay::nodePrevOff, prev);
+        core.debugWrite32(node + lay::nodeValueOff, fib);
+        core.debugWrite32(prev + lay::nodeNextOff, node);
+        prev = node;
+    }
+    core.debugWrite32(lay::tailPtrAddr, prev);
+    core.debugWrite32(lay::countAddr, n);
+    core.debugWrite32(lay::violationsAddr, 0);
+    core.debugWrite32(lay::magicAddr, lay::magicValue);
+}
+
+std::uint32_t
+listCount(target::Wisp &wisp)
+{
+    return wisp.mcu().debugRead32(lay::countAddr);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 9 (top): debug-build consistency check "
+                  "WITHOUT energy guards");
+    {
+        apps::FibonacciOptions options;
+        options.withCheck = true;
+        bench::Rig rig(909);
+        rig.wisp.flash(apps::buildFibonacciApp(options));
+        rig.wisp.start();
+
+        // Track progress; starvation = no new nodes across many
+        // consecutive charge-discharge cycles.
+        std::uint32_t last_count = 0;
+        std::uint64_t stall_boots = 0;
+        std::uint64_t boots_at_stall = 0;
+        std::uint32_t starved_at = 0;
+        for (int chunk = 0; chunk < 1200; ++chunk) {
+            rig.sim.runFor(100 * sim::oneMs);
+            std::uint32_t count = listCount(rig.wisp);
+            if (count != last_count) {
+                last_count = count;
+                stall_boots = rig.wisp.power().bootCount();
+            } else if (rig.wisp.power().bootCount() >
+                       stall_boots + 12) {
+                starved_at = count;
+                boots_at_stall = rig.wisp.power().bootCount();
+                break;
+            }
+        }
+        if (starved_at == 0) {
+            std::printf("main loop did not starve within the budget "
+                        "(list at %u)\n", last_count);
+        } else {
+            std::printf("main loop starved: list stuck at %u items "
+                        "after %llu reboots (t = %.1f s)\n",
+                        starved_at,
+                        (unsigned long long)boots_at_stall,
+                        sim::secondsFromTicks(rig.sim.now()));
+            std::printf("paper: \"stops executing the main loop "
+                        "after having added approximately 555 items"
+                        "\"\n");
+            std::printf("check runs every cycle, main loop never: "
+                        "the check's cost (~quadratic in list "
+                        "length) exceeds one full charge of the "
+                        "%.0f uF capacitor\n",
+                        rig.wisp.power().config().capacitanceF * 1e6);
+        }
+    }
+
+    bench::banner("Figure 9 (bottom): the same check WITH energy "
+                  "guards");
+    {
+        apps::FibonacciOptions options;
+        options.withCheck = true;
+        options.withGuards = true;
+        bench::Rig rig(910);
+        rig.wisp.flash(apps::buildFibonacciApp(options));
+        // Pre-seed beyond the unguarded starvation point.
+        seedList(rig.wisp, 700);
+        rig.wisp.start();
+
+        std::uint32_t start_count = listCount(rig.wisp);
+        rig.sim.runFor(10 * sim::oneSec);
+        std::uint32_t end_count = listCount(rig.wisp);
+        std::printf("list: %u -> %u items in 10 s with the check "
+                    "running every iteration on tethered power\n",
+                    start_count, end_count);
+        std::printf("energy guards entered: %llu; mean restore "
+                    "discrepancy is bounded by the control loop "
+                    "margin\n",
+                    (unsigned long long)rig.board.guardCount());
+        std::printf("violations flagged by the check so far: %u\n",
+                    rig.wisp.mcu().debugRead32(lay::violationsAddr));
+        if (end_count > start_count) {
+            std::printf("=> main loop keeps making progress past the "
+                        "unguarded starvation length (paper Fig 9 "
+                        "bottom)\n");
+        }
+    }
+    return 0;
+}

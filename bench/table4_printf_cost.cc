@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Regenerates paper Table 4: cost of debug output and its impact on
+ * the behaviour of the activity-recognition application.
+ *
+ * Three builds run on harvested power: no print, UART printf
+ * (on-target formatting + console UART wire time and energy), and
+ * EDB printf (shipped to the debugger inside an implicit energy
+ * guard). Reported per variant:
+ *   - iteration success rate: completed / attempted iterations
+ *     (from the app's non-volatile counters);
+ *   - iteration cost in energy (% of the 47 uF capacity) and time,
+ *     from EDB's watchpoint-energy trace (wp1 -> wp1 deltas within
+ *     one discharge cycle);
+ *   - print cost: the difference from the no-print baseline.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/activity.hh"
+#include "bench/common.hh"
+#include "trace/stats.hh"
+
+using namespace edb;
+
+namespace {
+
+struct VariantResult
+{
+    const char *name;
+    double successRate = 0.0;
+    double iterEnergyPct = 0.0;
+    /** Energy the *target* spent per iteration: the raw capacitor
+     *  delta corrected by whatever energy EDB injected back during
+     *  restore episodes inside the window. */
+    double iterTargetEnergyPct = 0.0;
+    double iterTimeMs = 0.0;
+    std::uint64_t completed = 0;
+    std::uint64_t attempted = 0;
+};
+
+VariantResult
+runVariant(const char *variant_name, apps::ActivityOutput output,
+           std::uint64_t seed, sim::Tick duration)
+{
+    namespace lay = apps::activity_layout;
+    apps::ActivityOptions options;
+    options.output = output;
+    bench::Rig rig(seed);
+    rig.wisp.flash(apps::buildActivityApp(options));
+    rig.board.setStream("watchpoints", true);
+    rig.wisp.start();
+    rig.sim.runFor(duration);
+
+    VariantResult result;
+    result.name = variant_name;
+    result.attempted = rig.wisp.mcu().debugRead32(lay::startedAddr);
+    result.completed = rig.wisp.mcu().debugRead32(lay::totalAddr);
+    if (result.attempted > 0) {
+        result.successRate = double(result.completed) /
+                             double(result.attempted);
+    }
+
+    // Iteration cost: wp1 -> wp1 deltas with no reboot in between.
+    const double e_max = rig.wisp.power().maxEnergy();
+    const double cap = rig.wisp.power().config().capacitanceF;
+    auto power_events =
+        rig.board.traceBuffer().ofKind(trace::Kind::PowerEvent);
+    auto wps = rig.board.traceBuffer().ofKind(trace::Kind::Watchpoint);
+    auto restores =
+        rig.board.traceBuffer().ofKind(trace::Kind::Generic);
+    auto reboot_between = [&power_events](sim::Tick a, sim::Tick b) {
+        for (const auto &ev : power_events) {
+            if (ev.when > a && ev.when < b)
+                return true;
+        }
+        return false;
+    };
+    // Energy EDB injected back (restored above saved) inside (a, b).
+    auto compensation_in = [&restores, cap](sim::Tick a, sim::Tick b) {
+        double joules = 0.0;
+        for (const auto &ev : restores) {
+            if (ev.text == "restore" && ev.when > a && ev.when < b)
+                joules += 0.5 * cap * (ev.b * ev.b - ev.a * ev.a);
+        }
+        return joules;
+    };
+    trace::SampleSet energy_pct, target_pct, time_ms;
+    const trace::Record *prev = nullptr;
+    for (const auto &wp : wps) {
+        if (wp.id != apps::activity_ids::wpIterStart)
+            continue;
+        if (prev && !reboot_between(prev->when, wp.when)) {
+            double de =
+                0.5 * cap * (prev->a * prev->a - wp.a * wp.a);
+            double dt = sim::millisFromTicks(wp.when - prev->when);
+            if (dt > 0 && dt < 100.0) {
+                energy_pct.add(de / e_max * 100.0);
+                target_pct.add(
+                    (de + compensation_in(prev->when, wp.when)) /
+                    e_max * 100.0);
+                time_ms.add(dt);
+            }
+        }
+        prev = &wp;
+    }
+    result.iterEnergyPct = energy_pct.summary().mean();
+    result.iterTargetEnergyPct = target_pct.summary().mean();
+    result.iterTimeMs = time_ms.summary().mean();
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 4: cost of debug output in the "
+                  "activity-recognition application");
+    constexpr sim::Tick duration = 12 * sim::oneSec;
+
+    std::vector<VariantResult> rows;
+    rows.push_back(runVariant("No print", apps::ActivityOutput::None,
+                              41, duration));
+    rows.push_back(runVariant("UART printf",
+                              apps::ActivityOutput::UartPrintf, 42,
+                              duration));
+    rows.push_back(runVariant("EDB printf",
+                              apps::ActivityOutput::EdbPrintf, 43,
+                              duration));
+
+    const VariantResult &base = rows[0];
+    std::printf("\n%-12s %9s %11s %11s %9s %11s %10s %14s\n", "",
+                "Success", "IterEnergy", "TargetCost", "IterTime",
+                "PrintCost", "PrintTime", "iters");
+    std::printf("%-12s %9s %11s %11s %9s %11s %10s %14s\n", "",
+                "Rate(%)", "(% cap)", "(% cap)", "(ms)", "(% cap)",
+                "(ms)", "(done/try)");
+    for (const auto &r : rows) {
+        double print_e =
+            r.iterTargetEnergyPct - base.iterTargetEnergyPct;
+        double print_t = r.iterTimeMs - base.iterTimeMs;
+        std::printf("%-12s %8.0f%% %11.2f %11.2f %9.2f", r.name,
+                    r.successRate * 100.0, r.iterEnergyPct,
+                    r.iterTargetEnergyPct, r.iterTimeMs);
+        if (&r == &base)
+            std::printf(" %11s %10s", "-", "-");
+        else
+            std::printf(" %11.2f %10.2f", print_e, print_t);
+        std::printf(" %8llu/%llu\n",
+                    (unsigned long long)r.completed,
+                    (unsigned long long)r.attempted);
+    }
+    std::printf(
+        "\nIterEnergy = raw capacitor drop between iteration starts;"
+        "\nTargetCost = the same corrected for energy EDB injected "
+        "during restore\n(the paper's per-iteration cost metric "
+        "excludes debugger compensation).\n"
+        "\npaper: No print 87%% / 3.0%% / 1.1 ms; UART printf 74%% / "
+        "5.3%% / 2.1 ms\n       (print 2.5%% / 1.1 ms); EDB printf "
+        "82%% / 3.4%% / 4.7 ms (print 0.11%% / 3.1 ms)\n"
+        "shape: UART printf costs real energy and depresses the "
+        "success rate;\nEDB printf adds wall-clock time while its "
+        "target-side energy cost stays\nnear zero (the pre-tether "
+        "request spin), so behaviour stays close to the\nrelease "
+        "build. Our prototype's conservative restore margin "
+        "over-restores\nslightly (Table 3), which nudges the EDB "
+        "success rate up rather than down;\nsee "
+        "ablation_control_loop for the margin sweep.\n");
+    return 0;
+}

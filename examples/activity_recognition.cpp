@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The paper's Section 5.3.3 case study: tracing events and profiling
+ * energy cost in a machine-learning-based activity-recognition
+ * application, using EDB's energy-interference-free printf and
+ * watchpoints.
+ */
+
+#include <cstdio>
+
+#include "apps/activity.hh"
+#include "edb/board.hh"
+#include "energy/harvester.hh"
+#include "sim/simulator.hh"
+#include "target/wisp.hh"
+#include "trace/stats.hh"
+
+using namespace edb;
+
+int
+main()
+{
+    namespace lay = apps::activity_layout;
+    sim::Simulator simulator(33);
+    energy::RfHarvester rf(30.0, 1.0);
+    target::Wisp wisp(simulator, "wisp", &rf, nullptr);
+    edbdbg::EdbBoard edb(simulator, "edb", wisp);
+    edb.setStream("watchpoints", true);
+    edb.setStream("iobus", true);
+
+    apps::ActivityOptions options;
+    options.output = apps::ActivityOutput::EdbPrintf;
+    wisp.flash(apps::buildActivityApp(options));
+
+    // Stream the target's printf output live, like the console does.
+    int shown = 0;
+    edb.setPrintfSink([&shown](const std::string &text) {
+        if (shown < 8) {
+            std::printf("  [target printf] %s", text.c_str());
+            ++shown;
+        }
+    });
+
+    std::printf("running the activity-recognition app for 8 s on "
+                "harvested power...\n");
+    wisp.start();
+    simulator.runFor(8 * sim::oneSec);
+
+    std::uint32_t total = wisp.mcu().debugRead32(lay::totalAddr);
+    std::uint32_t moving = wisp.mcu().debugRead32(lay::movingAddr);
+    std::uint32_t still = wisp.mcu().debugRead32(lay::stillAddr);
+    std::printf("\nclassification statistics (non-volatile):\n");
+    std::printf("  windows: %u  moving: %u  stationary: %u\n", total,
+                moving, still);
+
+    // Ground truth from the sensor model: how good is the classifier?
+    auto &accel = wisp.accelerometer();
+    std::printf("  sensor ground truth: %llu of %llu samples taken "
+                "while moving (%.0f%%)\n",
+                (unsigned long long)accel.movingSamples(),
+                (unsigned long long)accel.sampleCount(),
+                accel.sampleCount()
+                    ? 100.0 * accel.movingSamples() /
+                          accel.sampleCount()
+                    : 0.0);
+    if (total > 0) {
+        std::printf("  classifier says %.0f%% moving\n",
+                    100.0 * moving / total);
+    }
+
+    // Watchpoint-based time & energy profile (paper Fig 11 inputs):
+    // wp1 = iteration start, wp2 = stationary, wp3 = moving.
+    auto wps = edb.traceBuffer().ofKind(trace::Kind::Watchpoint);
+    const double cap = wisp.power().config().capacitanceF;
+    const double e_max = wisp.power().maxEnergy();
+    trace::SampleSet classify_ms, classify_pct;
+    const trace::Record *start = nullptr;
+    for (const auto &wp : wps) {
+        if (wp.id == apps::activity_ids::wpIterStart) {
+            start = &wp;
+        } else if (start) {
+            double dt = sim::millisFromTicks(wp.when - start->when);
+            double de = 0.5 * cap *
+                        (start->a * start->a - wp.a * wp.a);
+            if (dt > 0 && dt < 50 && de > 0) {
+                classify_ms.add(dt);
+                classify_pct.add(de / e_max * 100.0);
+            }
+            start = nullptr;
+        }
+    }
+    std::printf("\nwatchpoint profile of one sample+classify phase "
+                "(wp1 -> wp2/wp3):\n");
+    std::printf("  time:   mean %.2f ms (p10 %.2f, p90 %.2f)\n",
+                classify_ms.summary().mean(), classify_ms.quantile(0.1),
+                classify_ms.quantile(0.9));
+    std::printf("  energy: mean %.2f%% of capacity (p10 %.2f, p90 "
+                "%.2f)\n",
+                classify_pct.summary().mean(),
+                classify_pct.quantile(0.1),
+                classify_pct.quantile(0.9));
+    std::printf("\nthis is the profile the paper says is needed to "
+                "\"tune the application\nto the size of the storage "
+                "capacitor\" -- see bench/ablation_capacitor_sweep.\n");
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The EDB debug console (paper Table 1), either as an interactive
+ * REPL (when stdin is a TTY) or as a scripted demo session.
+ *
+ * The target runs the linked-list app with the keep-alive assert on
+ * harvested power; when the assert fires, the console drops into an
+ * interactive session.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include <unistd.h>
+
+#include "apps/linked_list.hh"
+#include "console/console.hh"
+#include "edb/board.hh"
+#include "energy/harvester.hh"
+#include "sim/simulator.hh"
+#include "target/wisp.hh"
+
+using namespace edb;
+
+int
+main()
+{
+    sim::Simulator simulator(55);
+    energy::RfHarvester rf(30.0, 1.0);
+    target::Wisp wisp(simulator, "wisp", &rf, nullptr);
+    edbdbg::EdbBoard edb(simulator, "edb", wisp);
+    console::Console con(edb);
+
+    edb.setPrintfSink([](const std::string &text) {
+        std::printf("[printf] %s", text.c_str());
+    });
+    edb.setSessionHook([&simulator](edbdbg::DebugSession &session) {
+        std::printf("\n*** debug session: %s (id %u) at t=%.1f ms, "
+                    "saved %.3f V ***\n",
+                    edbdbg::sessionReasonName(session.reason()),
+                    session.id(),
+                    sim::millisFromTicks(simulator.now()),
+                    session.savedVolts());
+    });
+
+    apps::LinkedListOptions options;
+    options.withAssert = true;
+    wisp.flash(apps::buildLinkedListApp(options));
+    wisp.start();
+
+    std::printf("EDB console -- target: linked-list app on harvested "
+                "power.\nType 'help' for commands; 'run <ms>' "
+                "advances simulated time; 'quit' exits.\n\n");
+
+    const bool interactive = isatty(STDIN_FILENO);
+    // Scripted session used when stdin is not a TTY (CI, tee).
+    const char *script[] = {
+        "status",        "trace energy on", "run 600",
+        "vcap",          "break-in",        "status",
+        "read 0x5000 16", "resume",          "run 200",
+        "status",        "quit",
+    };
+    std::size_t script_pos = 0;
+
+    std::string line;
+    while (true) {
+        if (interactive) {
+            std::printf("(edb) ");
+            std::fflush(stdout);
+            if (!std::getline(std::cin, line))
+                break;
+        } else {
+            if (script_pos >=
+                sizeof(script) / sizeof(script[0])) {
+                break;
+            }
+            line = script[script_pos++];
+            std::printf("(edb) %s\n", line.c_str());
+        }
+        if (line == "quit" || line == "exit")
+            break;
+        if (line.rfind("run ", 0) == 0) {
+            long ms = std::strtol(line.c_str() + 4, nullptr, 10);
+            if (ms > 0 && ms <= 60000) {
+                simulator.runFor(ms * sim::oneMs);
+                std::printf("advanced %ld ms (t = %.1f ms)\n", ms,
+                            sim::millisFromTicks(simulator.now()));
+            } else {
+                std::printf("usage: run <ms 1..60000>\n");
+            }
+            continue;
+        }
+        std::string out = con.execute(line);
+        if (!out.empty())
+            std::printf("%s\n", out.c_str());
+    }
+    return 0;
+}

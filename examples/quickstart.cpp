@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Quickstart: assemble a guest program, run it on a simulated
+ * energy-harvesting WISP, attach EDB, and watch the intermittent
+ * execution through the passive monitors.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "edb/board.hh"
+#include "energy/harvester.hh"
+#include "isa/assembler.hh"
+#include "runtime/libedb.hh"
+#include "sim/simulator.hh"
+#include "target/wisp.hh"
+
+using namespace edb;
+
+int
+main()
+{
+    // 1. A simulation, an ambient RF energy source (a 30 dBm reader
+    //    at 1 m), and the target device.
+    sim::Simulator simulator(/*seed=*/2024);
+    energy::RfHarvester harvester(30.0, 1.0);
+    target::Wisp wisp(simulator, "wisp", &harvester, nullptr);
+
+    // 2. A guest program in EH32 assembly: count iterations into
+    //    non-volatile memory, mark each thousand with a watchpoint.
+    auto program = isa::assemble(runtime::programHeader() + R"(
+.equ COUNTER, 0x5000       ; non-volatile (survives reboots)
+
+main:
+    la   r5, COUNTER
+loop:
+    ldw  r1, [r5]
+    addi r1, r1, 1
+    stw  r1, [r5]
+    ; watchpoint every 4096 iterations
+    andi r2, r1, 0x0FFF
+    cmpi r2, 0
+    bne  loop
+    li   r1, 1
+    call edb_watchpoint
+    br   loop
+)" + runtime::libedbSource());
+
+    wisp.flash(program);
+
+    // 3. Attach EDB and enable the passive streams.
+    edbdbg::EdbBoard edb(simulator, "edb", wisp);
+    edb.setStream("energy", true);
+    edb.setStream("watchpoints", true);
+
+    // 4. Run five seconds of harvested-power execution.
+    wisp.start();
+    simulator.runFor(5 * sim::oneSec);
+
+    // 5. What happened?
+    std::printf("after 5 s of harvested power:\n");
+    std::printf("  reboots: %llu (the program made progress anyway "
+                "-- the counter is in FRAM)\n",
+                (unsigned long long)wisp.power().bootCount());
+    std::printf("  iterations: %u\n",
+                wisp.mcu().debugRead32(0x5000));
+    std::printf("  instructions executed: %llu\n",
+                (unsigned long long)wisp.mcu().instrCount());
+
+    auto energy =
+        edb.traceBuffer().ofKind(trace::Kind::EnergySample);
+    auto wps = edb.traceBuffer().ofKind(trace::Kind::Watchpoint);
+    std::printf("  energy samples: %zu, watchpoint events: %zu\n",
+                energy.size(), wps.size());
+    if (!wps.empty()) {
+        std::printf("  last watchpoint: t=%.1f ms at Vcap=%.3f V\n",
+                    sim::millisFromTicks(wps.back().when),
+                    wps.back().a);
+    }
+
+    std::printf("\nsawtooth excerpt (Vcap every 100 ms):\n");
+    for (std::size_t i = 0; i < energy.size(); i += 100) {
+        std::printf("  t=%7.1f ms  Vcap=%.3f V\n",
+                    sim::millisFromTicks(energy[i].when),
+                    energy[i].a);
+    }
+    return 0;
+}

@@ -1,0 +1,204 @@
+#include "apps/fibonacci.hh"
+
+#include <sstream>
+
+#include "isa/assembler.hh"
+#include "runtime/libedb.hh"
+
+namespace edb::apps {
+
+std::string
+fibonacciSource(const FibonacciOptions &options)
+{
+    namespace lay = fibonacci_layout;
+    unsigned max_nodes = options.maxNodes == 0 ? lay::poolCapacity
+                                               : options.maxNodes;
+    std::ostringstream s;
+    s << runtime::programHeader();
+    s << ".equ F_MAGIC, " << lay::magicAddr << "\n"
+      << ".equ F_COUNT, " << lay::countAddr << "\n"
+      << ".equ F_TAIL, " << lay::tailPtrAddr << "\n"
+      << ".equ F_VIOL, " << lay::violationsAddr << "\n"
+      << ".equ F_HEAD, " << lay::headAddr << "\n"
+      << ".equ F_POOL, " << lay::poolAddr << "\n"
+      << ".equ F_MAX, " << max_nodes << "\n"
+      << ".equ F_MAGICV, " << lay::magicValue << "\n";
+
+    s << R"(
+main:
+    la   r0, F_MAGIC
+    ldw  r1, [r0]
+    la   r2, F_MAGICV
+    cmp  r1, r2
+    beq  main_loop
+    call fib_init
+
+main_loop:
+)";
+    if (options.withCheck) {
+        if (options.withGuards)
+            s << "    call edb_energy_guard_begin\n";
+        s << R"(
+    la   r0, GPIO_TOGGLE
+    li   r1, 2                 ; check indicator pin high
+    stw  r1, [r0]
+    call consistency_check
+    la   r0, GPIO_TOGGLE
+    li   r1, 2                 ; check indicator pin low
+    stw  r1, [r0]
+)";
+        if (options.withGuards)
+            s << "    call edb_energy_guard_end\n";
+    }
+    s << R"(
+    ; main-loop indicator
+    la   r0, GPIO_TOGGLE
+    li   r1, 1
+    stw  r1, [r0]
+
+    ; compute the next Fibonacci number from the list tail
+    la   r0, F_COUNT
+    ldw  r5, [r0]              ; r5 = count
+    cmpi r5, 2
+    bge  __fib_from_tail
+    li   r6, 1                 ; fib(1) = fib(2) = 1
+    br   __fib_have
+__fib_from_tail:
+    la   r0, F_TAIL
+    ldw  r1, [r0]              ; tail
+    ldw  r2, [r1 + 8]          ; tail->value
+    ldw  r1, [r1 + 4]          ; tail->prev
+    ldw  r3, [r1 + 8]          ; tail->prev->value
+    add  r6, r2, r3
+__fib_have:
+
+    ; stop at pool capacity
+    cmpi r5, F_MAX
+    bge  __done
+
+    ; count++ first (see DESIGN.md: ordering keeps the chain
+    ; traversable after an interrupted append)
+    la   r0, F_COUNT
+    addi r1, r5, 1
+    stw  r1, [r0]
+
+    ; node = POOL + count*16 ; node->value = fib
+    shli r1, r5, 4
+    la   r2, F_POOL
+    add  r7, r2, r1
+    stw  r6, [r7 + 8]
+    mov  r1, r7
+    call list_append
+
+    ; main-loop indicator low
+    la   r0, GPIO_TOGGLE
+    li   r1, 1
+    stw  r1, [r0]
+    br   main_loop
+
+__done:
+    halt
+
+fib_init:
+    la   r0, F_HEAD
+    li   r1, 0
+    stw  r1, [r0]
+    stw  r1, [r0 + 4]
+    stw  r1, [r0 + 8]
+    la   r2, F_TAIL
+    stw  r0, [r2]
+    la   r2, F_COUNT
+    stw  r1, [r2]
+    la   r2, F_VIOL
+    stw  r1, [r2]
+    la   r0, F_MAGIC
+    la   r1, F_MAGICV
+    stw  r1, [r0]
+    ret
+
+; append(list, e) -- same vulnerability window as paper Fig 3.
+list_append:
+    li   r0, 0
+    stw  r0, [r1]
+    la   r2, F_TAIL
+    ldw  r3, [r2]
+    stw  r3, [r1 + 4]
+    stw  r1, [r3]
+    stw  r1, [r2]
+    ret
+
+; consistency_check: walk the list; for node i verify
+;   node->prev links back, and node->value == fib(i) recomputed
+;   from scratch (cost grows quadratically with list length).
+consistency_check:
+    push r5
+    push r6
+    push r7
+    la   r5, F_HEAD            ; r5 = previous node
+    ldw  r6, [r5]              ; r6 = current
+    li   r7, 0                 ; r7 = index
+__cc_loop:
+    cmpi r6, 0
+    beq  __cc_tail
+    addi r7, r7, 1
+    ldw  r0, [r6 + 4]
+    cmp  r0, r5
+    bne  __cc_fail
+    ; recompute fib(r7) iteratively
+    li   r2, 1
+    li   r3, 1
+    mov  r4, r7
+__cc_fib:
+    cmpi r4, 3
+    blt  __cc_fib_done
+    add  r0, r2, r3
+    mov  r2, r3
+    mov  r3, r0
+    addi r4, r4, -1
+    br   __cc_fib
+__cc_fib_done:
+    ldw  r0, [r6 + 8]
+    cmp  r0, r3
+    bne  __cc_fail
+    mov  r5, r6
+    ldw  r6, [r6]
+    br   __cc_loop
+__cc_tail:
+    la   r0, F_TAIL
+    ldw  r0, [r0]
+    cmp  r0, r5
+    bne  __cc_fail
+    pop  r7
+    pop  r6
+    pop  r5
+    ret
+__cc_fail:
+)";
+    if (options.assertOnViolation) {
+        s << "    li   r1, " << fibonacci_ids::assertCheckFailed << "\n"
+          << "    call edb_assert_fail\n";
+    } else {
+        s << R"(
+    la   r0, F_VIOL
+    ldw  r1, [r0]
+    addi r1, r1, 1
+    stw  r1, [r0]
+)";
+    }
+    s << R"(
+    pop  r7
+    pop  r6
+    pop  r5
+    ret
+)";
+    s << runtime::libedbSource();
+    return s.str();
+}
+
+isa::Program
+buildFibonacciApp(const FibonacciOptions &options)
+{
+    return isa::assemble(fibonacciSource(options));
+}
+
+} // namespace edb::apps

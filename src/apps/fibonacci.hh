@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The Fibonacci-list application (paper Figs 8, 9).
+ *
+ * Generates the Fibonacci sequence and appends each number to a
+ * non-volatile doubly-linked list. The debug build prepends an
+ * energy-hungry consistency check whose cost grows with list length:
+ * it walks the list validating the prev/next links and recomputes
+ * each node's Fibonacci value from scratch. Once the list is long
+ * enough, the check alone consumes an entire charge-discharge cycle
+ * and the main loop can never run again — unless the check is
+ * wrapped in EDB energy guards.
+ */
+
+#ifndef EDB_APPS_FIBONACCI_HH
+#define EDB_APPS_FIBONACCI_HH
+
+#include "isa/program.hh"
+
+namespace edb::apps {
+
+/** Build options for the Fibonacci application. */
+struct FibonacciOptions
+{
+    /** Include the consistency check (the "debug build"). */
+    bool withCheck = false;
+    /** Wrap the check in EDB energy guards (Fig 9 bottom). */
+    bool withGuards = false;
+    /** On an invariant violation, call the keep-alive assert
+     *  (otherwise just count violations in FRAM and continue). */
+    bool assertOnViolation = false;
+    /** Stop after this many list nodes (0 = pool capacity). */
+    unsigned maxNodes = 0;
+};
+
+/** Watchpoint/assert ids. */
+namespace fibonacci_ids {
+constexpr unsigned assertCheckFailed = 2;
+}
+
+/** FRAM data addresses. */
+namespace fibonacci_layout {
+constexpr std::uint32_t magicAddr = 0x5000;
+constexpr std::uint32_t countAddr = 0x5004;
+constexpr std::uint32_t tailPtrAddr = 0x5008;
+constexpr std::uint32_t violationsAddr = 0x500C;
+constexpr std::uint32_t headAddr = 0x5010;
+constexpr std::uint32_t poolAddr = 0x6000;
+constexpr std::uint32_t poolCapacity = 2000; ///< 16-byte nodes.
+constexpr std::uint32_t magicValue = 0xF1B0CAFE;
+constexpr std::uint32_t nodeNextOff = 0;
+constexpr std::uint32_t nodePrevOff = 4;
+constexpr std::uint32_t nodeValueOff = 8;
+/** GPIO bit indicating the main loop ran (Fig 9 "Main Loop"). */
+constexpr std::uint32_t mainLoopPin = 0;
+/** GPIO bit indicating the check is running (Fig 9 "Check"). */
+constexpr std::uint32_t checkPin = 1;
+} // namespace fibonacci_layout
+
+/** Assemble the application. */
+isa::Program buildFibonacciApp(const FibonacciOptions &options = {});
+
+/** The raw assembly text. */
+std::string fibonacciSource(const FibonacciOptions &options = {});
+
+} // namespace edb::apps
+
+#endif // EDB_APPS_FIBONACCI_HH

@@ -1,0 +1,204 @@
+#include "apps/linked_list.hh"
+
+#include <sstream>
+
+#include "isa/assembler.hh"
+#include "runtime/libedb.hh"
+
+namespace edb::apps {
+
+std::string
+linkedListSource(const LinkedListOptions &options)
+{
+    namespace lay = linked_list_layout;
+    std::ostringstream s;
+    s << runtime::programHeader();
+    s << ".equ MAGIC_ADDR, " << lay::magicAddr << "\n"
+      << ".equ TAILPTR, " << lay::tailPtrAddr << "\n"
+      << ".equ ITERS, " << lay::iterCountAddr << "\n"
+      << ".equ HEAD, " << lay::headAddr << "\n"
+      << ".equ POOL, " << lay::poolAddr << "\n"
+      << ".equ BUFS, " << lay::bufsAddr << "\n"
+      << ".equ MAGIC_VAL, " << lay::magicValue << "\n";
+
+    // Loop progress indicator: GPIO pin 0 or the LED baseline (the
+    // LED must stay lit long enough to be visible, hence the delay
+    // loop -- that is exactly why it is so expensive).
+    int blip_count = 0;
+    auto blip = [&blip_count, &options]() -> std::string {
+        if (!options.ledTracing) {
+            return R"(
+    la   r0, GPIO_TOGGLE
+    li   r1, 1
+    stw  r1, [r0]
+)";
+        }
+        std::string label =
+            "__blip_delay_" + std::to_string(blip_count++);
+        return "\n    la   r0, LED\n"
+               "    li   r1, 1\n"
+               "    stw  r1, [r0]\n"
+               "    li   r2, 40\n" +
+               label +
+               ":\n"
+               "    addi r2, r2, -1\n"
+               "    cmpi r2, 0\n"
+               "    bne  " +
+               label +
+               "\n"
+               "    li   r1, 0\n"
+               "    stw  r1, [r0]\n";
+    };
+
+    s << R"(
+main:
+    la   r0, MAGIC_ADDR
+    ldw  r1, [r0]
+    la   r2, MAGIC_VAL
+    cmp  r1, r2
+    beq  main_loop
+    call list_init
+
+; Paper Section 5.3.1: "On each iteration of the main loop, a node
+; is appended to the linked list if the list is empty or removed
+; from the list otherwise."
+main_loop:
+)";
+    if (options.withCheckpoint)
+        s << "    chkpt\n";
+    s << blip();
+    if (options.withAssert) {
+        // The paper's invariant: "the tail pointer points to the
+        // last element in the list" (Fig 6). For the 0/1-element
+        // list: empty => tail == &head; else tail == head.next.
+        s << R"(
+    la   r0, HEAD
+    ldw  r1, [r0]
+    la   r2, TAILPTR
+    ldw  r2, [r2]
+    cmpi r1, 0
+    bne  __a_nonempty
+    la   r3, HEAD
+    cmp  r2, r3
+    beq  __assert_ok
+    br   __assert_fire
+__a_nonempty:
+    cmp  r2, r1
+    beq  __assert_ok
+__assert_fire:
+    li   r1, )" << linked_list_ids::assertTailConsistent << R"(
+    call edb_assert_fail
+__assert_ok:
+)";
+    }
+    s << R"(
+    la   r0, HEAD
+    ldw  r6, [r0]              ; r6 = head->next
+    cmpi r6, 0
+    bne  __do_remove
+
+    ; list empty: update(e) then append(list, e)
+    la   r6, POOL
+    ldw  r0, [r6 + 8]          ; e->value++
+    addi r0, r0, 1
+    stw  r0, [r6 + 8]
+    ldw  r2, [r6 + 12]         ; scribble e's volatile buffer
+    li   r3, 4
+__memset_loop:
+    stw  r0, [r2]
+    addi r2, r2, 4
+    addi r3, r3, -1
+    cmpi r3, 0
+    bne  __memset_loop
+    mov  r1, r6
+    call list_append
+    br   __iter_done
+
+__do_remove:
+    mov  r1, r6                ; e = first element
+    call list_remove
+
+__iter_done:
+    la   r0, ITERS
+    ldw  r1, [r0]
+    addi r1, r1, 1
+    stw  r1, [r0]
+)" << blip() << R"(
+    br   main_loop
+
+; list_init: empty list (sentinel head, tail -> head), one pool node
+; whose data buffer lives in volatile SRAM.
+list_init:
+    la   r0, HEAD
+    li   r1, 0
+    stw  r1, [r0]
+    stw  r1, [r0 + 4]
+    la   r2, TAILPTR
+    stw  r0, [r2]
+    la   r2, ITERS
+    stw  r1, [r2]
+    la   r2, POOL
+    stw  r1, [r2]              ; node.next = 0
+    stw  r1, [r2 + 4]          ; node.prev = 0
+    stw  r1, [r2 + 8]          ; node.value = 0
+    la   r3, BUFS
+    stw  r3, [r2 + 12]         ; node.buf -> SRAM
+    la   r0, MAGIC_ADDR
+    la   r1, MAGIC_VAL
+    stw  r1, [r0]
+    ret
+
+; append(list, e) -- paper Fig 3, verbatim structure:
+;   e->next = NULL
+;   e->prev = list->tail
+;   list->tail->next = e
+;   list->tail = e          <-- power failure before this line
+;                               leaves the tail pointer stale
+list_append:
+    li   r0, 0
+    stw  r0, [r1]
+    la   r2, TAILPTR
+    ldw  r3, [r2]
+    stw  r3, [r1 + 4]
+    stw  r1, [r3]
+    stw  r1, [r2]
+    ret
+
+; remove(list, e) -- paper Fig 3:
+;   if (e == list->tail) tail = e->prev
+;   else e->next->prev = e->prev   <-- wild write when e->next==NULL
+;   e->prev->next = e->next
+; (This compilation orders the tail update before the unlink store,
+; so *either* interruption window -- here or in append -- leaves the
+; paper's signature corruption: a stale tail pointing at the
+; penultimate element while the half-linked node has next == NULL.)
+list_remove:
+    la   r0, TAILPTR
+    ldw  r2, [r0]
+    cmp  r1, r2
+    bne  __remove_else
+    ldw  r2, [r1 + 4]
+    stw  r2, [r0]              ; tail = e->prev
+    ; >>> power failure window: e still linked from e->prev <<<
+    ldw  r2, [r1 + 4]
+    ldw  r3, [r1]
+    stw  r3, [r2]              ; e->prev->next = e->next
+    ret
+__remove_else:
+    ldw  r2, [r1 + 4]          ; e->prev
+    ldw  r3, [r1]              ; e->next (NULL when corrupted!)
+    stw  r2, [r3 + 4]          ; e->next->prev = e->prev  (wild write)
+    stw  r3, [r2]              ; e->prev->next = e->next
+    ret
+)";
+    s << runtime::libedbSource();
+    return s.str();
+}
+
+isa::Program
+buildLinkedListApp(const LinkedListOptions &options)
+{
+    return isa::assemble(linkedListSource(options));
+}
+
+} // namespace edb::apps

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The linked-list intermittence-bug application (paper Figs 3, 6, 7).
+ *
+ * Maintains a doubly-linked list in non-volatile memory with the
+ * paper's exact append/remove code. `append` has a vulnerability
+ * window: a power failure after `tail->next = e` but before
+ * `tail = e` leaves the tail pointer stale. A later `remove` of the
+ * half-appended node takes the else-branch, dereferences its NULL
+ * `next` pointer and writes through a wild pointer — undefined
+ * behaviour that cannot occur under continuous power.
+ *
+ * The main loop toggles GPIO pin 0 at its start and end so external
+ * instruments can see whether the loop is still alive (Fig 7).
+ */
+
+#ifndef EDB_APPS_LINKED_LIST_HH
+#define EDB_APPS_LINKED_LIST_HH
+
+#include "isa/program.hh"
+
+namespace edb::apps {
+
+/** Build options for the linked-list application. */
+struct LinkedListOptions
+{
+    /** Insert the keep-alive assert (tail->next == NULL) at the top
+     *  of each iteration (paper Section 5.3.1 diagnosis). */
+    bool withAssert = false;
+    /** Take a hardware checkpoint at the top of each iteration
+     *  (the paper Fig 3 configuration). */
+    bool withCheckpoint = false;
+    /** Indicate loop progress by blinking the LED instead of the
+     *  GPIO pin (the energy-interfering ad hoc tracing baseline of
+     *  Section 2.2). */
+    bool ledTracing = false;
+};
+
+/** Watchpoint/assert ids used by the application. */
+namespace linked_list_ids {
+constexpr unsigned assertTailConsistent = 1;
+}
+
+/** FRAM data addresses (for debugger inspection in tests/examples). */
+namespace linked_list_layout {
+constexpr std::uint32_t magicAddr = 0x5000;
+constexpr std::uint32_t tailPtrAddr = 0x5004;
+constexpr std::uint32_t iterCountAddr = 0x500C;
+constexpr std::uint32_t headAddr = 0x5010;
+constexpr std::uint32_t poolAddr = 0x5100;
+constexpr std::uint32_t bufsAddr = 0x2000; ///< SRAM buffers.
+constexpr std::uint32_t nodeNextOff = 0;
+constexpr std::uint32_t nodePrevOff = 4;
+constexpr std::uint32_t nodeValueOff = 8;
+constexpr std::uint32_t nodeBufOff = 12;
+constexpr std::uint32_t magicValue = 0xBEEF1234;
+} // namespace linked_list_layout
+
+/** Assemble the application. */
+isa::Program buildLinkedListApp(const LinkedListOptions &options = {});
+
+/** The raw assembly text (for inspection / assembler tests). */
+std::string linkedListSource(const LinkedListOptions &options = {});
+
+} // namespace edb::apps
+
+#endif // EDB_APPS_LINKED_LIST_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Conventional JTAG debugger baseline.
+ *
+ * "Dedicated debugging equipment, like a JTAG debugger, offers
+ * visibility into the device's state but is not useful because it
+ * provides continuous power and masks intermittence... the JTAG
+ * protocol fails if the DUT powers off." (paper Section 2.2)
+ *
+ * The model supplies the target from the debug pod's rail while
+ * attached (masking intermittence) and refuses all state access the
+ * moment the target is unpowered.
+ */
+
+#ifndef EDB_BASELINE_JTAG_HH
+#define EDB_BASELINE_JTAG_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "energy/supply.hh"
+#include "target/wisp.hh"
+
+namespace edb::baseline {
+
+/** JTAG debug pod attached to the target. */
+class JtagDebugger : public sim::Component
+{
+  public:
+    /**
+     * @param supplies_power Conventional pods power the DUT; pass
+     *        false to model a JTAG isolator (which decouples the
+     *        rails but still cannot follow a power-cycling DUT).
+     */
+    JtagDebugger(sim::Simulator &simulator, std::string component_name,
+                 target::Wisp &target_device,
+                 bool supplies_power = true,
+                 double rail_volts = 3.0, double rail_ohms = 20.0);
+
+    /** Attach / detach the pod. */
+    void attach();
+    void detach();
+    bool attached() const { return isAttached; }
+
+    /**
+     * Read target memory over JTAG. Fails (nullopt) when the target
+     * is unpowered — the protocol cannot survive a power cycle.
+     */
+    std::optional<std::uint32_t> read32(std::uint32_t addr);
+
+    /** Write target memory over JTAG (false when unpowered). */
+    bool write32(std::uint32_t addr, std::uint32_t value);
+
+    /** Halt the core? Conventional run-control works only while
+     *  powered; returns false otherwise. */
+    bool targetResponsive() const;
+
+  private:
+    target::Wisp &wisp;
+    energy::VoltageSupply rail;
+    bool suppliesPower;
+    bool isAttached = false;
+};
+
+} // namespace edb::baseline
+
+#endif // EDB_BASELINE_JTAG_HH

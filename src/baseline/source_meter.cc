@@ -1,0 +1,31 @@
+#include "baseline/source_meter.hh"
+
+namespace edb::baseline {
+
+SourceMeter::SourceMeter(sim::Rng &rng_in, double noise_floor_amps,
+                         double relative_noise)
+    : rng(rng_in), floorAmps(noise_floor_amps), relNoise(relative_noise)
+{}
+
+double
+SourceMeter::measure(const edbdbg::Connection &connection,
+                     edbdbg::LineState state, double volts)
+{
+    double truth = connection.current(state, volts);
+    double noise =
+        rng.gaussian(floorAmps) + truth * rng.gaussian(relNoise);
+    return truth + noise;
+}
+
+trace::SampleSet
+SourceMeter::measureMany(const edbdbg::Connection &connection,
+                         edbdbg::LineState state, double volts,
+                         unsigned trials)
+{
+    trace::SampleSet samples;
+    for (unsigned i = 0; i < trials; ++i)
+        samples.add(measure(connection, state, volts));
+    return samples;
+}
+
+} // namespace edb::baseline

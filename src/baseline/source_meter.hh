@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Source meter (Keithley 2450 stand-in).
+ *
+ * Applies a voltage to the driving endpoint of an EDB<->target
+ * connection and measures the resulting DC current — the measurement
+ * methodology of paper Table 2 ("we used a source meter to apply a
+ * voltage to the driving endpoint of each connection and measure the
+ * resulting current").
+ */
+
+#ifndef EDB_BASELINE_SOURCE_METER_HH
+#define EDB_BASELINE_SOURCE_METER_HH
+
+#include "edb/connection.hh"
+#include "sim/rng.hh"
+#include "trace/stats.hh"
+
+namespace edb::baseline {
+
+/** Source meter with a realistic measurement noise floor. */
+class SourceMeter
+{
+  public:
+    /**
+     * @param rng Measurement noise source.
+     * @param noise_floor_amps Absolute noise floor (1 sigma).
+     * @param relative_noise Relative reading noise (1 sigma).
+     */
+    explicit SourceMeter(sim::Rng &rng,
+                         double noise_floor_amps = 0.01e-9,
+                         double relative_noise = 0.18);
+
+    /**
+     * Apply `volts` to the connection in logic state `state` and
+     * measure the current out of the target endpoint.
+     */
+    double measure(const edbdbg::Connection &connection,
+                   edbdbg::LineState state, double volts);
+
+    /**
+     * Repeat a measurement `trials` times, as the paper did when
+     * producing the min/avg/max columns.
+     */
+    trace::SampleSet measureMany(const edbdbg::Connection &connection,
+                                 edbdbg::LineState state, double volts,
+                                 unsigned trials);
+
+  private:
+    sim::Rng &rng;
+    double floorAmps;
+    double relNoise;
+};
+
+} // namespace edb::baseline
+
+#endif // EDB_BASELINE_SOURCE_METER_HH

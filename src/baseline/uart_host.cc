@@ -1,0 +1,32 @@
+#include "baseline/uart_host.hh"
+
+namespace edb::baseline {
+
+UartHost::UartHost(sim::Simulator &simulator,
+                   std::string component_name,
+                   target::Wisp &target_device,
+                   double adapter_leak_amps)
+    : sim::Component(simulator, std::move(component_name))
+{
+    // Non-isolated adapter leakage: permanently loads the target.
+    target_device.power().addLoad(name() + ".adapter_leak",
+                                  adapter_leak_amps, true);
+    target_device.uart().addTxListener(
+        [this](std::uint8_t byte, sim::Tick when) {
+            onByte(byte, when);
+        });
+}
+
+void
+UartHost::onByte(std::uint8_t byte, sim::Tick)
+{
+    ++bytes;
+    if (byte == '\n') {
+        complete.push_back(current);
+        current.clear();
+        return;
+    }
+    current.push_back(static_cast<char>(byte));
+}
+
+} // namespace edb::baseline

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Always-on UART logging host.
+ *
+ * The "stream the event log to a separate, always-on system (e.g.,
+ * via UART)" instrumentation strategy of paper Section 2.2. Collects
+ * bytes from the target's console UART into lines. Note that an
+ * off-the-shelf USB-to-serial adapter is *not* electrically isolated;
+ * the `adapterLeakAmps` load models the resulting energy
+ * interference on top of the transmit cost.
+ */
+
+#ifndef EDB_BASELINE_UART_HOST_HH
+#define EDB_BASELINE_UART_HOST_HH
+
+#include <string>
+#include <vector>
+
+#include "target/wisp.hh"
+
+namespace edb::baseline {
+
+/** Line-assembling UART log receiver. */
+class UartHost : public sim::Component
+{
+  public:
+    UartHost(sim::Simulator &simulator, std::string component_name,
+             target::Wisp &target_device,
+             double adapter_leak_amps = 5e-6);
+
+    /** Completed lines received so far. */
+    const std::vector<std::string> &lines() const { return complete; }
+
+    /** Total bytes received. */
+    std::uint64_t byteCount() const { return bytes; }
+
+    /** The partial line currently being assembled. */
+    const std::string &partial() const { return current; }
+
+  private:
+    void onByte(std::uint8_t byte, sim::Tick when);
+
+    std::vector<std::string> complete;
+    std::string current;
+    std::uint64_t bytes = 0;
+};
+
+} // namespace edb::baseline
+
+#endif // EDB_BASELINE_UART_HOST_HH

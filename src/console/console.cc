@@ -1,0 +1,279 @@
+#include "console/console.hh"
+
+#include <cstdint>
+#include <iomanip>
+#include <optional>
+#include <sstream>
+
+namespace edb::console {
+
+namespace {
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::istringstream iss(line);
+    std::string tok;
+    while (iss >> tok)
+        tokens.push_back(tok);
+    return tokens;
+}
+
+std::optional<std::uint32_t>
+parseU32(const std::string &tok)
+{
+    try {
+        std::size_t pos = 0;
+        unsigned long long v = std::stoull(tok, &pos, 0);
+        if (pos != tok.size() || v > 0xFFFFFFFFull)
+            return std::nullopt;
+        return static_cast<std::uint32_t>(v);
+    } catch (const std::exception &) {
+        return std::nullopt;
+    }
+}
+
+std::optional<double>
+parseVolts(const std::string &tok)
+{
+    try {
+        std::size_t pos = 0;
+        double v = std::stod(tok, &pos);
+        if (pos != tok.size() || v < 0.0 || v > 10.0)
+            return std::nullopt;
+        return v;
+    } catch (const std::exception &) {
+        return std::nullopt;
+    }
+}
+
+} // namespace
+
+Console::Console(edbdbg::EdbBoard &board) : edb(board) {}
+
+std::string
+Console::execute(const std::string &line)
+{
+    auto tokens = tokenize(line);
+    if (tokens.empty())
+        return "";
+    const std::string &cmd = tokens[0];
+    std::vector<std::string> args(tokens.begin() + 1, tokens.end());
+
+    if (cmd == "help")
+        return cmdHelp();
+    if (cmd == "status")
+        return cmdStatus();
+    if (cmd == "vcap") {
+        std::ostringstream oss;
+        oss << "Vcap = " << std::fixed << std::setprecision(3)
+            << edb.target().power().voltage() << " V";
+        return oss.str();
+    }
+    if (cmd == "charge")
+        return cmdCharge(args, true);
+    if (cmd == "discharge")
+        return cmdCharge(args, false);
+    if (cmd == "break")
+        return cmdBreak(args);
+    if (cmd == "watch")
+        return cmdWatch(args);
+    if (cmd == "trace")
+        return cmdTrace(args);
+    if (cmd == "read")
+        return cmdRead(args);
+    if (cmd == "write")
+        return cmdWrite(args);
+    if (cmd == "resume")
+        return cmdResume();
+    if (cmd == "break-in")
+        return cmdBreakIn();
+    return "error: unknown command '" + cmd + "' (try 'help')";
+}
+
+std::string
+Console::cmdHelp() const
+{
+    return "commands:\n"
+           "  charge <volts> | discharge <volts>\n"
+           "  break en <id> [<volts>] | break dis <id>\n"
+           "  break en energy <volts> | break dis energy\n"
+           "  watch en <id> | watch dis <id>\n"
+           "  trace <energy|iobus|rfid|watchpoints> [on|off]\n"
+           "  read <addr> <len>\n"
+           "  write <addr> <value>\n"
+           "  resume | break-in | status | vcap | help";
+}
+
+std::string
+Console::cmdStatus()
+{
+    std::ostringstream oss;
+    oss << "target: "
+        << mcu::mcuStateName(edb.target().state()) << ", Vcap "
+        << std::fixed << std::setprecision(3)
+        << edb.target().power().voltage() << " V"
+        << (edb.tethered() ? ", tethered" : "");
+    auto *session = edb.session();
+    if (session && session->open()) {
+        oss << "\nsession: "
+            << edbdbg::sessionReasonName(session->reason()) << " id "
+            << session->id() << " (saved " << std::setprecision(3)
+            << session->savedVolts() << " V)";
+    }
+    return oss.str();
+}
+
+std::string
+Console::cmdCharge(const std::vector<std::string> &args, bool charge)
+{
+    if (args.size() != 1)
+        return "usage: charge|discharge <volts>";
+    auto volts = parseVolts(args[0]);
+    if (!volts)
+        return "error: bad voltage";
+    bool ok = charge ? edb.chargeTo(*volts) : edb.dischargeTo(*volts);
+    if (!ok)
+        return "error: level not reached (timeout)";
+    std::ostringstream oss;
+    oss << "ok, Vcap = " << std::fixed << std::setprecision(3)
+        << edb.target().power().voltage() << " V";
+    return oss.str();
+}
+
+std::string
+Console::cmdBreak(const std::vector<std::string> &args)
+{
+    if (args.size() < 2)
+        return "usage: break en|dis <id|energy> [<volts>]";
+    bool enable = args[0] == "en";
+    if (!enable && args[0] != "dis")
+        return "usage: break en|dis <id|energy> [<volts>]";
+    if (args[1] == "energy") {
+        if (!enable) {
+            edb.disableEnergyBreakpoint();
+            return "energy breakpoint disabled";
+        }
+        if (args.size() != 3)
+            return "usage: break en energy <volts>";
+        auto volts = parseVolts(args[2]);
+        if (!volts)
+            return "error: bad voltage";
+        edb.enableEnergyBreakpoint(*volts);
+        std::ostringstream oss;
+        oss << "energy breakpoint at " << *volts << " V";
+        return oss.str();
+    }
+    auto id = parseU32(args[1]);
+    if (!id || *id > 31)
+        return "error: bad breakpoint id";
+    if (!enable) {
+        edb.disableCodeBreakpoint(*id);
+        return "breakpoint " + args[1] + " disabled";
+    }
+    std::optional<double> threshold;
+    if (args.size() == 3) {
+        threshold = parseVolts(args[2]);
+        if (!threshold)
+            return "error: bad voltage";
+    }
+    edb.enableCodeBreakpoint(*id, threshold);
+    return threshold ? "combined breakpoint " + args[1] + " enabled"
+                     : "code breakpoint " + args[1] + " enabled";
+}
+
+std::string
+Console::cmdWatch(const std::vector<std::string> &args)
+{
+    if (args.size() != 2 || (args[0] != "en" && args[0] != "dis"))
+        return "usage: watch en|dis <id>";
+    auto id = parseU32(args[1]);
+    if (!id)
+        return "error: bad watchpoint id";
+    if (args[0] == "en")
+        edb.enableWatchpoint(*id);
+    else
+        edb.disableWatchpoint(*id);
+    return "watchpoint " + args[1] +
+           (args[0] == "en" ? " enabled" : " disabled");
+}
+
+std::string
+Console::cmdTrace(const std::vector<std::string> &args)
+{
+    if (args.empty() || args.size() > 2)
+        return "usage: trace <energy|iobus|rfid|watchpoints> [on|off]";
+    bool on = args.size() < 2 || args[1] == "on";
+    if (args.size() == 2 && args[1] != "on" && args[1] != "off")
+        return "usage: trace <stream> [on|off]";
+    if (!edb.setStream(args[0], on))
+        return "error: unknown stream '" + args[0] + "'";
+    return "trace " + args[0] + (on ? " on" : " off");
+}
+
+std::string
+Console::cmdRead(const std::vector<std::string> &args)
+{
+    if (args.size() != 2)
+        return "usage: read <addr> <len>";
+    auto addr = parseU32(args[0]);
+    auto len = parseU32(args[1]);
+    if (!addr || !len || *len == 0 || *len > 256)
+        return "error: bad address or length";
+    auto *session = edb.session();
+    if (!session || !session->open())
+        return "error: no open debug session";
+    auto bytes = session->readBytes(*addr,
+                                    static_cast<std::uint16_t>(*len));
+    if (!bytes)
+        return "error: read failed";
+    std::ostringstream oss;
+    oss << std::hex << std::setfill('0');
+    for (std::size_t i = 0; i < bytes->size(); ++i) {
+        if (i % 16 == 0) {
+            if (i)
+                oss << '\n';
+            oss << "0x" << std::setw(4) << (*addr + i) << ':';
+        }
+        oss << ' ' << std::setw(2) << unsigned((*bytes)[i]);
+    }
+    return oss.str();
+}
+
+std::string
+Console::cmdWrite(const std::vector<std::string> &args)
+{
+    if (args.size() != 2)
+        return "usage: write <addr> <value>";
+    auto addr = parseU32(args[0]);
+    auto value = parseU32(args[1]);
+    if (!addr || !value)
+        return "error: bad address or value";
+    auto *session = edb.session();
+    if (!session || !session->open())
+        return "error: no open debug session";
+    if (!session->write32(*addr, *value))
+        return "error: write failed";
+    return "ok";
+}
+
+std::string
+Console::cmdResume()
+{
+    auto *session = edb.session();
+    if (!session || !session->open())
+        return "error: no open debug session";
+    session->resume();
+    return "resumed";
+}
+
+std::string
+Console::cmdBreakIn()
+{
+    if (!edb.breakIn())
+        return "error: target not running or busy";
+    return cmdStatus();
+}
+
+} // namespace edb::console

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The EDB debug console (paper Section 4.2, Table 1).
+ *
+ * A command-line interface for interacting directly with EDB and
+ * indirectly with the target. Grammar (after Table 1):
+ *
+ *     charge <volts>            discharge <volts>
+ *     break en <id> [<volts>]   break dis <id>
+ *     break en energy <volts>   break dis energy
+ *     watch en <id>             watch dis <id>
+ *     trace <energy|iobus|rfid|watchpoints> [on|off]
+ *     read <addr> <len>
+ *     write <addr> <value>
+ *     resume
+ *     break-in
+ *     status | vcap | help
+ *
+ * Commands that need a session (read/write/resume) report an error
+ * when none is open. Numeric arguments accept 0x-prefixed hex.
+ */
+
+#ifndef EDB_CONSOLE_CONSOLE_HH
+#define EDB_CONSOLE_CONSOLE_HH
+
+#include <string>
+#include <vector>
+
+#include "edb/board.hh"
+
+namespace edb::console {
+
+/** Interactive command interpreter over an EDB board. */
+class Console
+{
+  public:
+    explicit Console(edbdbg::EdbBoard &board);
+
+    /**
+     * Execute one command line.
+     * @return Output text (possibly multi-line, no trailing NL).
+     */
+    std::string execute(const std::string &line);
+
+    /** The underlying board. */
+    edbdbg::EdbBoard &board() { return edb; }
+
+  private:
+    std::string cmdHelp() const;
+    std::string cmdStatus();
+    std::string cmdCharge(const std::vector<std::string> &args,
+                          bool charge);
+    std::string cmdBreak(const std::vector<std::string> &args);
+    std::string cmdWatch(const std::vector<std::string> &args);
+    std::string cmdTrace(const std::vector<std::string> &args);
+    std::string cmdRead(const std::vector<std::string> &args);
+    std::string cmdWrite(const std::vector<std::string> &args);
+    std::string cmdResume();
+    std::string cmdBreakIn();
+
+    edbdbg::EdbBoard &edb;
+};
+
+} // namespace edb::console
+
+#endif // EDB_CONSOLE_CONSOLE_HH

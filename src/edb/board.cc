@@ -1,0 +1,509 @@
+#include "edb/board.hh"
+
+#include <cmath>
+
+#include "runtime/protocol_defs.hh"
+#include "sim/logging.hh"
+
+namespace edb::edbdbg {
+
+namespace proto = runtime::proto;
+
+EdbBoard::EdbBoard(sim::Simulator &simulator,
+                   std::string component_name,
+                   target::Wisp &target_device,
+                   rfid::RfChannel *channel, EdbConfig config)
+    : sim::Component(simulator, std::move(component_name)),
+      wisp(target_device),
+      rfChannel(channel),
+      cfg(config),
+      pins(simulator.rng()),
+      adc_(simulator.rng(), config.adc),
+      charger(simulator, name() + ".charge", target_device.power(),
+              adc_, config.charge),
+      tether(config.tetherVolts, config.tetherOhms)
+{
+    auto &power = wisp.power();
+
+    // Tethered supply and passive pin leakage inject through the
+    // target's power integrator: interference is *measured*.
+    power.addSource(name() + ".tether", [this](double v, double) {
+        return tether.currentInto(v);
+    });
+    if (cfg.attachPassiveLeakage) {
+        power.addSource(name() + ".pin_leakage",
+                        [this](double v, double) {
+                            return -pins.totalDrain(v);
+                        });
+    }
+
+    // Debug-port wiring.
+    wisp.debugPort().addReqListener(
+        [this](bool level, sim::Tick when) {
+            onReqChange(level, when);
+        });
+    wisp.debugPort().uart().addTxListener(
+        [this](std::uint8_t byte, sim::Tick when) {
+            onDebugByte(byte, when);
+        });
+    wisp.debugPort().addMarkerListener(
+        [this](std::uint32_t id, sim::Tick when) {
+            onMarker(id, when);
+        });
+
+    // Passive I/O monitors.
+    wisp.uart().addTxListener([this](std::uint8_t byte,
+                                     sim::Tick when) {
+        if (streams_.iobus) {
+            traceBuf.push(when, trace::Kind::IoByte, byte, 0.0, byte,
+                          "uart0");
+        }
+    });
+    wisp.i2c().addSniffer([this](std::uint8_t addr, std::uint8_t reg,
+                                 std::uint8_t value, bool is_read,
+                                 sim::Tick when) {
+        if (streams_.iobus) {
+            traceBuf.push(when, trace::Kind::IoByte, value,
+                          is_read ? 1.0 : 0.0,
+                          (std::uint32_t(addr) << 8) | reg, "i2c");
+        }
+    });
+    if (rfChannel) {
+        rfChannel->addTap([this](rfid::Direction dir,
+                                 const rfid::Frame &frame,
+                                 sim::Tick when) {
+            if (!streams_.rfid)
+                return;
+            traceBuf.push(when, trace::Kind::RfidMessage,
+                          frame.corrupted ? 1.0 : 0.0,
+                          dir == rfid::Direction::ReaderToTag ? 0.0
+                                                              : 1.0,
+                          static_cast<std::uint32_t>(frame.type),
+                          rfid::msgTypeName(frame.type));
+        });
+    }
+
+    // Power-state transitions are always recorded: correlating them
+    // with program events is the point of the tool.
+    power.addPowerListener([this](bool on) {
+        traceBuf.push(now(), trace::Kind::PowerEvent,
+                      wisp.power().voltageNoAdvance(), 0.0, on ? 1 : 0,
+                      on ? "turn-on" : "brown-out");
+    });
+
+    // Protocol event handlers.
+    protocol.handlers.assertFail = [this](std::uint16_t id) {
+        ++asserts;
+        traceBuf.push(now(), trace::Kind::AssertFail, savedVolts, 0.0,
+                      id, "assert-fail");
+        openSession(SessionReason::AssertFail, id);
+    };
+    protocol.handlers.bkptHit = [this](std::uint16_t id) {
+        auto it = codeBkpts.find(id);
+        if (it != codeBkpts.end() && it->second &&
+            savedVolts > *it->second) {
+            // Combined breakpoint whose energy condition is not met:
+            // resume immediately without opening a session.
+            sendToTarget(proto::cmdResume);
+            return;
+        }
+        SessionReason reason = SessionReason::CodeBreakpoint;
+        if (id == proto::energyBkptId)
+            reason = pendingIrqReason;
+        ++bkpts;
+        traceBuf.push(now(), trace::Kind::Breakpoint, savedVolts, 0.0,
+                      id, sessionReasonName(reason));
+        openSession(reason, id);
+    };
+    protocol.handlers.guardBegin = [this] {
+        ++guards;
+        mode = Mode::GuardActive;
+        traceBuf.push(now(), trace::Kind::EnergyGuard, savedVolts, 0.0,
+                      1, "guard-begin");
+    };
+    protocol.handlers.guardEnd = [this] {
+        traceBuf.push(now(), trace::Kind::EnergyGuard, savedVolts, 0.0,
+                      0, "guard-end");
+        beginRestore(true);
+    };
+    protocol.handlers.printfText = [this](const std::string &text) {
+        ++printfs;
+        traceBuf.push(now(), trace::Kind::Printf, savedVolts, 0.0, 0,
+                      text);
+        if (printfSink)
+            printfSink(text);
+        beginRestore(true);
+    };
+
+    // Continuous energy sampling (passive mode backbone).
+    sim().scheduleIn(cfg.energySamplePeriod, [this] { sampleEnergy(); });
+}
+
+bool
+EdbBoard::setStream(const std::string &stream_name, bool on)
+{
+    if (stream_name == "energy")
+        streams_.energy = on;
+    else if (stream_name == "iobus")
+        streams_.iobus = on;
+    else if (stream_name == "rfid")
+        streams_.rfid = on;
+    else if (stream_name == "watchpoints")
+        streams_.watchpoints = on;
+    else
+        return false;
+    return true;
+}
+
+void
+EdbBoard::sampleEnergy()
+{
+    double vcap = wisp.power().voltage();
+    double reading = adc_.sampleVolts(vcap);
+    lastVcapVolts = reading;
+    if (streams_.energy) {
+        double vreg = adc_.sampleVolts(wisp.power().regulatedVoltage());
+        traceBuf.push(now(), trace::Kind::EnergySample, reading, vreg);
+    }
+
+    // Energy breakpoint: interrupt the target when the level falls
+    // to the threshold (paper Section 3.3.1).
+    if (energyBkptVolts && mode == Mode::Passive) {
+        if (energyBkptArmed &&
+            wisp.state() == mcu::McuState::Running &&
+            reading <= *energyBkptVolts) {
+            energyBkptArmed = false;
+            pendingIrqReason = SessionReason::EnergyBreakpoint;
+            wisp.mcu().raiseDebugIrq();
+        } else if (!energyBkptArmed &&
+                   reading >
+                       *energyBkptVolts + cfg.energyBkptHysteresis) {
+            energyBkptArmed = true;
+        }
+    }
+    sim().scheduleIn(cfg.energySamplePeriod, [this] { sampleEnergy(); });
+}
+
+void
+EdbBoard::enableWatchpoint(unsigned id)
+{
+    watchpoints[id] = true;
+}
+
+void
+EdbBoard::disableWatchpoint(unsigned id)
+{
+    watchpoints[id] = false;
+}
+
+bool
+EdbBoard::watchpointEnabled(unsigned id) const
+{
+    auto it = watchpoints.find(id);
+    return it != watchpoints.end() ? it->second : watchAll;
+}
+
+void
+EdbBoard::onMarker(std::uint32_t id, sim::Tick when)
+{
+    if (!watchpointEnabled(id) || !streams_.watchpoints)
+        return;
+    // Each program event is paired with a concurrent energy reading:
+    // the "multifaceted profile" of Section 4.1.3.
+    double reading = adc_.sampleVolts(wisp.power().voltage());
+    traceBuf.push(when, trace::Kind::Watchpoint, reading, 0.0, id);
+}
+
+void
+EdbBoard::enableCodeBreakpoint(unsigned id,
+                               std::optional<double> energy_threshold)
+{
+    codeBkpts[id] = energy_threshold;
+    std::uint32_t mask = wisp.debugPort().breakpointMask();
+    wisp.debugPort().setBreakpointMask(mask | (1u << id));
+}
+
+void
+EdbBoard::disableCodeBreakpoint(unsigned id)
+{
+    codeBkpts.erase(id);
+    std::uint32_t mask = wisp.debugPort().breakpointMask();
+    wisp.debugPort().setBreakpointMask(mask & ~(1u << id));
+}
+
+void
+EdbBoard::enableEnergyBreakpoint(double volts)
+{
+    energyBkptVolts = volts;
+    energyBkptArmed = true;
+}
+
+void
+EdbBoard::disableEnergyBreakpoint()
+{
+    energyBkptVolts.reset();
+}
+
+void
+EdbBoard::onReqChange(bool level, sim::Tick when)
+{
+    reqHigh = level;
+    if (level) {
+        if (mode != Mode::Passive)
+            return;
+        // Firmware edge-interrupt latency before active-mode entry.
+        reqHandlerEvent = sim().schedule(
+            when + cfg.reqLatency, [this] { enterActive(); });
+        return;
+    }
+    // Falling edge: resume completed, or the target died first.
+    if (reqHandlerEvent != sim::invalidEventId) {
+        sim().cancel(reqHandlerEvent);
+        reqHandlerEvent = sim::invalidEventId;
+    }
+    switch (mode) {
+      case Mode::Passive:
+        break;
+      case Mode::AwaitFrame:
+      case Mode::GuardActive:
+      case Mode::InSession:
+        // Fall-gated restore path (session resume / target death).
+        beginRestore(false);
+        break;
+      case Mode::Restoring:
+        if (!charger.active())
+            closeEpisode();
+        break;
+    }
+}
+
+void
+EdbBoard::enterActive()
+{
+    reqHandlerEvent = sim::invalidEventId;
+    if (!reqHigh || mode != Mode::Passive)
+        return;
+    // Save the energy level, then tether: "before performing an
+    // active task the energy on the target device is measured and
+    // recorded. While the active task executes, the target is
+    // continuously powered." (Section 3.2)
+    lastSavedTrue = wisp.power().voltage();
+    savedVolts = adc_.sampleVolts(lastSavedTrue);
+    restoredVolts = 0.0;
+    lastRestoredTrue = 0.0;
+    tether.setEnabled(true);
+    protocol.reset();
+    mode = Mode::AwaitFrame;
+    sendToTarget(proto::ackActive);
+}
+
+void
+EdbBoard::onDebugByte(std::uint8_t byte, sim::Tick when)
+{
+    (void)when;
+    if (mode == Mode::InSession && rxExpected > 0) {
+        rxReply.push_back(byte);
+        if (rxReply.size() >= rxExpected)
+            rxExpected = 0;
+        return;
+    }
+    protocol.onByte(byte);
+}
+
+void
+EdbBoard::sendToTarget(std::uint8_t byte)
+{
+    txQueue.push_back(byte);
+    pumpTxQueue();
+}
+
+void
+EdbBoard::pumpTxQueue()
+{
+    if (txBusy || txQueue.empty())
+        return;
+    txBusy = true;
+    std::uint8_t byte = txQueue.front();
+    txQueue.pop_front();
+    sim::Tick bt = wisp.debugPort().uart().byteTime();
+    sim().scheduleIn(bt, [this, byte] {
+        wisp.debugPort().uart().receiveByte(byte);
+        txBusy = false;
+        pumpTxQueue();
+    });
+}
+
+void
+EdbBoard::beginRestore(bool ack_after)
+{
+    tether.setEnabled(false);
+    mode = Mode::Restoring;
+    if (!wisp.power().poweredOn()) {
+        // The target died before/inside the episode; nothing to
+        // restore onto.
+        closeEpisode();
+        return;
+    }
+    charger.restoreTo(savedVolts, [this, ack_after] {
+        lastRestoredTrue = wisp.power().voltage();
+        restoredVolts = adc_.sampleVolts(lastRestoredTrue);
+        // Record the episode's compensation so analyses can separate
+        // target-side cost from debugger-injected energy.
+        traceBuf.push(now(), trace::Kind::Generic, lastSavedTrue,
+                      lastRestoredTrue, 0, "restore");
+        if (ack_after) {
+            sendToTarget(proto::ackRestored);
+            if (!reqHigh)
+                closeEpisode();
+            // else: the req falling edge closes the episode.
+        } else {
+            closeEpisode();
+        }
+    });
+}
+
+void
+EdbBoard::closeEpisode()
+{
+    mode = Mode::Passive;
+    tether.setEnabled(false);
+    charger.abort();
+    protocol.reset();
+    rxExpected = 0;
+    if (activeSession)
+        activeSession->open_ = false;
+    wisp.mcu().clearDebugIrq();
+    // A new debug request may have been raised while this episode
+    // was still restoring (e.g. back-to-back printfs); service it.
+    if (reqHigh) {
+        reqHandlerEvent = sim().schedule(now() + cfg.reqLatency,
+                                         [this] { enterActive(); });
+    }
+}
+
+void
+EdbBoard::openSession(SessionReason reason, std::uint16_t id)
+{
+    mode = Mode::InSession;
+    wisp.mcu().clearDebugIrq();
+    activeSession = std::make_unique<DebugSession>(*this, reason, id,
+                                                   savedVolts);
+    if (sessionHook)
+        sessionHook(*activeSession);
+}
+
+bool
+EdbBoard::pumpUntil(const std::function<bool()> &cond,
+                    sim::Tick timeout)
+{
+    sim::Tick deadline = sim().now() + timeout;
+    while (!cond()) {
+        if (sim().now() >= deadline)
+            return false;
+        sim().runFor(
+            std::min<sim::Tick>(100 * sim::oneUs,
+                                deadline - sim().now()));
+    }
+    return true;
+}
+
+bool
+EdbBoard::waitForSession(sim::Tick timeout)
+{
+    return pumpUntil(
+        [this] { return activeSession && activeSession->open(); },
+        timeout);
+}
+
+bool
+EdbBoard::waitPassive(sim::Tick timeout)
+{
+    return pumpUntil([this] { return mode == Mode::Passive; },
+                     timeout);
+}
+
+bool
+EdbBoard::breakIn(sim::Tick timeout)
+{
+    if (mode != Mode::Passive ||
+        wisp.state() != mcu::McuState::Running) {
+        return false;
+    }
+    pendingIrqReason = SessionReason::Manual;
+    wisp.mcu().raiseDebugIrq();
+    return waitForSession(timeout);
+}
+
+bool
+EdbBoard::chargeTo(double volts, sim::Tick timeout)
+{
+    bool done = false;
+    charger.rampTo(volts, 0.0, [&done] { done = true; });
+    bool ok = pumpUntil([&done] { return done; }, timeout);
+    if (!ok)
+        charger.abort();
+    return ok;
+}
+
+bool
+EdbBoard::dischargeTo(double volts, sim::Tick timeout)
+{
+    return chargeTo(volts, timeout);
+}
+
+std::optional<std::vector<std::uint8_t>>
+EdbBoard::sessionRead(std::uint32_t addr, std::uint16_t len,
+                      sim::Tick timeout)
+{
+    if (mode != Mode::InSession || len == 0)
+        return std::nullopt;
+    rxReply.clear();
+    rxExpected = len;
+    sendToTarget(proto::cmdRead);
+    for (int i = 0; i < 4; ++i)
+        sendToTarget(static_cast<std::uint8_t>(addr >> (8 * i)));
+    sendToTarget(static_cast<std::uint8_t>(len & 0xFF));
+    sendToTarget(static_cast<std::uint8_t>(len >> 8));
+    bool ok = pumpUntil(
+        [this, len] { return rxReply.size() >= len; }, timeout);
+    rxExpected = 0;
+    if (!ok)
+        return std::nullopt;
+    return rxReply;
+}
+
+bool
+EdbBoard::sessionWrite(std::uint32_t addr, std::uint32_t value,
+                       sim::Tick timeout)
+{
+    if (mode != Mode::InSession)
+        return false;
+    sendToTarget(proto::cmdWrite);
+    for (int i = 0; i < 4; ++i)
+        sendToTarget(static_cast<std::uint8_t>(addr >> (8 * i)));
+    for (int i = 0; i < 4; ++i)
+        sendToTarget(static_cast<std::uint8_t>(value >> (8 * i)));
+    // No explicit ack: wait for the bytes to drain plus slack for
+    // the service loop to execute the store.
+    if (!pumpUntil([this] { return txQueue.empty() && !txBusy; },
+                   timeout)) {
+        return false;
+    }
+    pumpFor(2 * wisp.debugPort().uart().byteTime());
+    return true;
+}
+
+void
+EdbBoard::pumpFor(sim::Tick duration)
+{
+    sim().runFor(duration);
+}
+
+void
+EdbBoard::sessionResume()
+{
+    sendToTarget(proto::cmdResume);
+    waitPassive(2 * sim::oneSec);
+}
+
+} // namespace edb::edbdbg

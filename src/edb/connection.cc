@@ -1,0 +1,138 @@
+#include "edb/connection.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edb::edbdbg {
+
+namespace {
+constexpr double nano = 1e-9;
+}
+
+Connection::Connection(std::string connection_name, ConnectionType type,
+                       sim::Rng &rng, LineState idle_state)
+    : name_(std::move(connection_name)), type_(type), state_(idle_state)
+{
+    switch (type_) {
+      case ConnectionType::AnalogSense:
+        // Instrumentation-amp input: sub-nA bias current with small
+        // device-to-device spread; slightly negative offset (input
+        // bias flows into the target).
+        analogSlope = (0.35 + rng.gaussian(0.10)) * nano;
+        analogOffset = (-0.70 + rng.gaussian(0.60)) * nano;
+        break;
+      case ConnectionType::DebuggerToTarget:
+        // Target side is a high-impedance input; only protection
+        // diode leakage of a few tens of pA either way.
+        highSlope = 0.0;
+        highOffset = rng.gaussian(0.01) * nano;
+        lowLeak = (-0.02 + rng.gaussian(0.005)) * nano;
+        break;
+      case ConnectionType::TargetToDebugger:
+        // The target drives into EDB's ultra-low-leakage buffer:
+        // input leakage grows with the driven voltage (~27 nA/V),
+        // i.e. ~65 nA at 2.4 V as in Table 2; near -2 nA flows back
+        // when the line is low.
+        highSlope = (27.0 + rng.gaussian(3.0)) * nano;
+        highOffset = rng.gaussian(0.02) * nano;
+        lowLeak = (-2.0 + rng.gaussian(0.25)) * nano;
+        break;
+      case ConnectionType::I2cOpenDrain:
+        // Passive tap on an open-drain bus: tens of pA high, a few
+        // hundred pA low.
+        highSlope = (0.015 + rng.gaussian(0.005)) * nano;
+        highOffset = 0.0;
+        lowLeak = (-0.18 + rng.gaussian(0.04)) * nano;
+        break;
+    }
+}
+
+double
+Connection::current(LineState state, double volts) const
+{
+    if (type_ == ConnectionType::AnalogSense)
+        return analogSlope * volts + analogOffset;
+    switch (state) {
+      case LineState::High:
+        return highSlope * volts + highOffset;
+      case LineState::Low:
+        return lowLeak;
+      case LineState::Analog:
+        return analogSlope * volts + analogOffset;
+    }
+    return 0.0;
+}
+
+double
+Connection::worstCaseAbs(double max_volts) const
+{
+    double hi = std::abs(current(LineState::High, max_volts));
+    double lo = std::abs(current(LineState::Low, max_volts));
+    double an = std::abs(current(LineState::Analog, max_volts));
+    if (type_ == ConnectionType::AnalogSense)
+        return std::max(an, std::abs(current(LineState::Analog, 0.0)));
+    return std::max(hi, lo);
+}
+
+ConnectionSet::ConnectionSet(sim::Rng &rng)
+{
+    using CT = ConnectionType;
+    using LS = LineState;
+    // One row per wire in paper Fig 5 / Table 2. Idle states: UART
+    // lines idle high, marker and comm lines idle low, I2C pulled
+    // high.
+    connections.emplace_back("Capacitor sense, manipulate",
+                             CT::AnalogSense, rng, LS::Analog);
+    connections.emplace_back("Regulator sense, level reference",
+                             CT::AnalogSense, rng, LS::Analog);
+    connections.emplace_back("Debugger->Target comm.",
+                             CT::DebuggerToTarget, rng, LS::Low);
+    connections.emplace_back("Target->Debugger comm.",
+                             CT::TargetToDebugger, rng, LS::Low);
+    connections.emplace_back("Code marker 0", CT::TargetToDebugger,
+                             rng, LS::Low);
+    connections.emplace_back("Code marker 1", CT::TargetToDebugger,
+                             rng, LS::Low);
+    connections.emplace_back("UART RX", CT::TargetToDebugger, rng,
+                             LS::High);
+    connections.emplace_back("UART TX", CT::TargetToDebugger, rng,
+                             LS::High);
+    connections.emplace_back("RF RX", CT::TargetToDebugger, rng,
+                             LS::Low);
+    connections.emplace_back("RF TX", CT::TargetToDebugger, rng,
+                             LS::Low);
+    connections.emplace_back("I2C SCL", CT::I2cOpenDrain, rng,
+                             LS::High);
+    connections.emplace_back("I2C SDA", CT::I2cOpenDrain, rng,
+                             LS::High);
+}
+
+Connection *
+ConnectionSet::find(const std::string &connection_name)
+{
+    for (auto &c : connections) {
+        if (c.name() == connection_name)
+            return &c;
+    }
+    return nullptr;
+}
+
+double
+ConnectionSet::totalDrain(double volts) const
+{
+    double total = 0.0;
+    for (const auto &c : connections)
+        total += c.currentNow(volts);
+    return total;
+}
+
+double
+ConnectionSet::worstCaseTotal(double max_volts) const
+{
+    double total = 0.0;
+    for (const auto &c : connections)
+        total += c.worstCaseAbs(max_volts);
+    return total;
+}
+
+} // namespace edb::edbdbg

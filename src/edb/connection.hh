@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Electrical connection model between EDB and the target.
+ *
+ * Every wire in paper Fig 5 (Vcap, Vreg, comm lines, code markers,
+ * UART, RF data, I2C) is a `Connection` with a per-logic-state DC
+ * leakage characteristic. The sum of these leakages is the passive
+ * energy interference of the debugger — the quantity Table 2 bounds
+ * at 0.85 uA worst case, "0.2% of the typical active mode current".
+ *
+ * Leakage magnitudes are seeded from the component classes of the
+ * real design: instrumentation-amplifier inputs for analog senses,
+ * ultra-low-leakage digital buffers for monitored lines (with the
+ * buffer input leaking tens of nA when driven high), and open-drain
+ * I2C taps.
+ */
+
+#ifndef EDB_EDB_CONNECTION_HH
+#define EDB_EDB_CONNECTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace edb::edbdbg {
+
+/** Logic state of a connection's driving endpoint. */
+enum class LineState : std::uint8_t { Low, High, Analog };
+
+/** Which side drives the line. */
+enum class LineDriver : std::uint8_t { Target, Debugger };
+
+/** Electrical class of a connection. */
+enum class ConnectionType : std::uint8_t
+{
+    AnalogSense,      ///< Vcap / Vreg instrumentation-amp inputs.
+    DebuggerToTarget, ///< Debugger-driven comm (target-side hi-Z).
+    TargetToDebugger, ///< Target-driven line into the EDB buffer.
+    I2cOpenDrain,     ///< Passive open-drain tap.
+};
+
+/**
+ * One physical wire between EDB and the target.
+ *
+ * `current(state, volts)` returns the signed DC current flowing
+ * from the *target* into the debugger (positive drains the target).
+ * Characteristics carry a small per-device variation so measured
+ * min/avg/max spread across instances as in Table 2.
+ */
+class Connection
+{
+  public:
+    /**
+     * @param connection_name Table 2 row label.
+     * @param type Electrical class.
+     * @param rng Per-device parameter variation source.
+     * @param idle_state Logic state when the line is quiescent.
+     */
+    Connection(std::string connection_name, ConnectionType type,
+               sim::Rng &rng, LineState idle_state);
+
+    const std::string &name() const { return name_; }
+    ConnectionType type() const { return type_; }
+
+    /**
+     * Signed DC current (amps) out of the target at the given
+     * driving-endpoint state and voltage.
+     */
+    double current(LineState state, double volts) const;
+
+    /** Present logic state (updated by traffic on the wire). */
+    LineState state() const { return state_; }
+    void setState(LineState s) { state_ = s; }
+
+    /** Current at the present state and voltage. */
+    double
+    currentNow(double volts) const
+    {
+        return current(state_, volts);
+    }
+
+    /**
+     * Worst-case |current| over both logic states at the worst-case
+     * voltage (the Table 2 "Worst-Case Total" contribution).
+     */
+    double worstCaseAbs(double max_volts) const;
+
+  private:
+    std::string name_;
+    ConnectionType type_;
+    LineState state_;
+    /** Conductance seen when the line is driven high (A/V). */
+    double highSlope = 0.0;
+    /** Offset current when driven high (A). */
+    double highOffset = 0.0;
+    /** Constant leakage when the line is low (A, signed). */
+    double lowLeak = 0.0;
+    /** Analog-sense input conductance (A/V, signed contributions). */
+    double analogSlope = 0.0;
+    double analogOffset = 0.0;
+};
+
+/** The standard EDB<->target harness: one entry per Fig 5 wire. */
+class ConnectionSet
+{
+  public:
+    explicit ConnectionSet(sim::Rng &rng);
+
+    /** All connections. */
+    std::vector<Connection> &all() { return connections; }
+    const std::vector<Connection> &all() const { return connections; }
+
+    /** Find by name (nullptr when missing). */
+    Connection *find(const std::string &connection_name);
+
+    /** Net target-drain current at voltage `volts`, present states. */
+    double totalDrain(double volts) const;
+
+    /** Sum of per-connection worst cases (Table 2 bottom line). */
+    double worstCaseTotal(double max_volts) const;
+
+  private:
+    std::vector<Connection> connections;
+};
+
+} // namespace edb::edbdbg
+
+#endif // EDB_EDB_CONNECTION_HH

@@ -1,0 +1,145 @@
+#include "edb/protocol.hh"
+
+#include <sstream>
+
+#include "runtime/protocol_defs.hh"
+
+namespace edb::edbdbg {
+
+namespace proto = runtime::proto;
+
+void
+ProtocolEngine::reset()
+{
+    state = State::Idle;
+    args.clear();
+    fmt.clear();
+}
+
+void
+ProtocolEngine::onByte(std::uint8_t byte)
+{
+    switch (state) {
+      case State::Idle:
+        switch (byte) {
+          case proto::msgAssertFail:
+            isAssert = true;
+            state = State::AssertIdLo;
+            break;
+          case proto::msgBkptHit:
+            isAssert = false;
+            state = State::AssertIdLo;
+            break;
+          case proto::msgGuardBegin:
+            if (handlers.guardBegin)
+                handlers.guardBegin();
+            break;
+          case proto::msgGuardEnd:
+            if (handlers.guardEnd)
+                handlers.guardEnd();
+            break;
+          case proto::msgPrintf:
+            args.clear();
+            fmt.clear();
+            state = State::PrintfNargs;
+            break;
+          default:
+            // Stray byte (e.g. noise before sync); ignore.
+            break;
+        }
+        break;
+
+      case State::AssertIdLo:
+        id = byte;
+        state = State::AssertIdHi;
+        break;
+      case State::AssertIdHi:
+        id |= static_cast<std::uint16_t>(byte) << 8;
+        state = State::Idle;
+        if (isAssert) {
+            if (handlers.assertFail)
+                handlers.assertFail(id);
+        } else if (handlers.bkptHit) {
+            handlers.bkptHit(id);
+        }
+        break;
+
+      case State::BkptIdLo:
+      case State::BkptIdHi:
+        // Unused (merged into AssertIdLo/Hi); kept for clarity.
+        state = State::Idle;
+        break;
+
+      case State::PrintfNargs:
+        argsExpected = byte;
+        argBytes = 0;
+        curArg = 0;
+        state = argsExpected > 0 ? State::PrintfArgs
+                                 : State::PrintfFmt;
+        break;
+      case State::PrintfArgs:
+        curArg |= static_cast<std::uint32_t>(byte) << (8 * argBytes);
+        if (++argBytes == 4) {
+            args.push_back(curArg);
+            curArg = 0;
+            argBytes = 0;
+            if (args.size() == argsExpected)
+                state = State::PrintfFmt;
+        }
+        break;
+      case State::PrintfFmt:
+        if (byte == 0) {
+            state = State::Idle;
+            if (handlers.printfText)
+                handlers.printfText(formatPrintf(fmt, args));
+        } else {
+            fmt.push_back(static_cast<char>(byte));
+        }
+        break;
+    }
+}
+
+std::string
+formatPrintf(const std::string &fmt,
+             const std::vector<std::uint32_t> &args)
+{
+    std::ostringstream out;
+    std::size_t arg_index = 0;
+    for (std::size_t i = 0; i < fmt.size(); ++i) {
+        char c = fmt[i];
+        if (c != '%' || i + 1 >= fmt.size()) {
+            out << c;
+            continue;
+        }
+        char spec = fmt[++i];
+        std::uint32_t value =
+            arg_index < args.size() ? args[arg_index] : 0;
+        switch (spec) {
+          case 'd':
+            out << static_cast<std::int32_t>(value);
+            ++arg_index;
+            break;
+          case 'u':
+            out << value;
+            ++arg_index;
+            break;
+          case 'x':
+            out << std::hex << value << std::dec;
+            ++arg_index;
+            break;
+          case 'c':
+            out << static_cast<char>(value);
+            ++arg_index;
+            break;
+          case '%':
+            out << '%';
+            break;
+          default:
+            out << '%' << spec;
+            break;
+        }
+    }
+    return out.str();
+}
+
+} // namespace edb::edbdbg

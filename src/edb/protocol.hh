@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Debugger-side parser for the target<->EDB wire protocol.
+ *
+ * Consumes the byte stream arriving on the debug UART and raises
+ * typed events (assert, breakpoint, energy-guard begin/end, printf).
+ * The printf formatter lives here too: the target ships the format
+ * string and raw argument words; the host renders the text, keeping
+ * the target-side cost to a byte loop.
+ */
+
+#ifndef EDB_EDB_PROTOCOL_HH
+#define EDB_EDB_PROTOCOL_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace edb::edbdbg {
+
+/** Byte-stream parser for target->debugger frames. */
+class ProtocolEngine
+{
+  public:
+    struct Handlers
+    {
+        std::function<void(std::uint16_t)> assertFail;
+        std::function<void(std::uint16_t)> bkptHit;
+        std::function<void()> guardBegin;
+        std::function<void()> guardEnd;
+        std::function<void(const std::string &)> printfText;
+    };
+
+    Handlers handlers;
+
+    /** Drop any partial frame (new active-mode episode). */
+    void reset();
+
+    /** Feed one byte from the debug UART. */
+    void onByte(std::uint8_t byte);
+
+    /** True while mid-frame. */
+    bool midFrame() const { return state != State::Idle; }
+
+  private:
+    enum class State
+    {
+        Idle,
+        AssertIdLo,
+        AssertIdHi,
+        BkptIdLo,
+        BkptIdHi,
+        PrintfNargs,
+        PrintfArgs,
+        PrintfFmt,
+    };
+
+    State state = State::Idle;
+    bool isAssert = false;
+    std::uint16_t id = 0;
+    unsigned argsExpected = 0;
+    unsigned argBytes = 0;
+    std::uint32_t curArg = 0;
+    std::vector<std::uint32_t> args;
+    std::string fmt;
+};
+
+/**
+ * Render a printf format string against argument words. Supports
+ * %d, %u, %x, %c and %%; unknown specifiers are copied through.
+ */
+std::string formatPrintf(const std::string &fmt,
+                         const std::vector<std::uint32_t> &args);
+
+} // namespace edb::edbdbg
+
+#endif // EDB_EDB_PROTOCOL_HH

@@ -1,0 +1,65 @@
+#include "edb/session.hh"
+
+#include "edb/board.hh"
+
+namespace edb::edbdbg {
+
+const char *
+sessionReasonName(SessionReason reason)
+{
+    switch (reason) {
+      case SessionReason::AssertFail: return "assert";
+      case SessionReason::CodeBreakpoint: return "code-breakpoint";
+      case SessionReason::EnergyBreakpoint: return "energy-breakpoint";
+      case SessionReason::Manual: return "manual";
+    }
+    return "unknown";
+}
+
+DebugSession::DebugSession(EdbBoard &owning_board, SessionReason reason,
+                           std::uint16_t session_id, double saved_volts)
+    : board(owning_board),
+      reason_(reason),
+      id_(session_id),
+      savedVolts_(saved_volts)
+{}
+
+std::optional<std::vector<std::uint8_t>>
+DebugSession::readBytes(std::uint32_t addr, std::uint16_t len,
+                        sim::Tick timeout)
+{
+    if (!open_)
+        return std::nullopt;
+    return board.sessionRead(addr, len, timeout);
+}
+
+std::optional<std::uint32_t>
+DebugSession::read32(std::uint32_t addr, sim::Tick timeout)
+{
+    auto bytes = readBytes(addr, 4, timeout);
+    if (!bytes || bytes->size() != 4)
+        return std::nullopt;
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i)
+        value |= static_cast<std::uint32_t>((*bytes)[i]) << (8 * i);
+    return value;
+}
+
+bool
+DebugSession::write32(std::uint32_t addr, std::uint32_t value,
+                      sim::Tick timeout)
+{
+    if (!open_)
+        return false;
+    return board.sessionWrite(addr, value, timeout);
+}
+
+void
+DebugSession::resume()
+{
+    if (!open_)
+        return;
+    board.sessionResume();
+}
+
+} // namespace edb::edbdbg

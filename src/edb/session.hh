@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Interactive debug session (paper Section 3.3.4).
+ *
+ * Opened automatically when a keep-alive assertion fails, a
+ * breakpoint is hit, or on demand. While a session is open the
+ * target runs its libEDB service loop on tethered power and the host
+ * has "full access to view and modify the target's memory" through
+ * the READ/WRITE protocol commands.
+ *
+ * The synchronous helpers pump the simulator: they model the human
+ * (or script) at the console, so they must only be called from
+ * outside event context.
+ */
+
+#ifndef EDB_EDB_SESSION_HH
+#define EDB_EDB_SESSION_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace edb::edbdbg {
+
+class EdbBoard;
+
+/** Why a session opened. */
+enum class SessionReason : std::uint8_t
+{
+    AssertFail,
+    CodeBreakpoint,
+    EnergyBreakpoint,
+    Manual,
+};
+
+/** Human-readable reason name. */
+const char *sessionReasonName(SessionReason reason);
+
+/** An open interactive debugging session. */
+class DebugSession
+{
+  public:
+    DebugSession(EdbBoard &board, SessionReason reason,
+                 std::uint16_t id, double saved_volts);
+
+    /** Why the session opened. */
+    SessionReason reason() const { return reason_; }
+
+    /** Assert/breakpoint id (energy breakpoints report 0xFFFF). */
+    std::uint16_t id() const { return id_; }
+
+    /** Vcap recorded when the debugger took over. */
+    double savedVolts() const { return savedVolts_; }
+
+    /** True until resume() completes. */
+    bool open() const { return open_; }
+
+    /// @name Target access (synchronous; pumps the simulator)
+    /// @{
+    /** Read `len` bytes of target memory. */
+    std::optional<std::vector<std::uint8_t>>
+    readBytes(std::uint32_t addr, std::uint16_t len,
+              sim::Tick timeout = 200 * sim::oneMs);
+
+    /** Read a 32-bit word. */
+    std::optional<std::uint32_t>
+    read32(std::uint32_t addr, sim::Tick timeout = 200 * sim::oneMs);
+
+    /** Write a 32-bit word. */
+    bool write32(std::uint32_t addr, std::uint32_t value,
+                 sim::Tick timeout = 200 * sim::oneMs);
+
+    /** Resume the target (restores its energy state afterwards). */
+    void resume();
+    /// @}
+
+  private:
+    friend class EdbBoard;
+
+    EdbBoard &board;
+    SessionReason reason_;
+    std::uint16_t id_;
+    double savedVolts_;
+    bool open_ = true;
+};
+
+} // namespace edb::edbdbg
+
+#endif // EDB_EDB_SESSION_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Energy storage capacitor model.
+ *
+ * The target device buffers harvested charge in a small capacitor
+ * (47 uF on the WISP 5). Stored energy is E = 1/2 C V^2; all of the
+ * paper's energy percentages (Tables 3 and 4) are expressed relative
+ * to the capacity at the 2.4 V turn-on voltage.
+ */
+
+#ifndef EDB_ENERGY_CAPACITOR_HH
+#define EDB_ENERGY_CAPACITOR_HH
+
+namespace edb::energy {
+
+/** Ideal capacitor: charge in, voltage out. */
+class Capacitor
+{
+  public:
+    /**
+     * @param farads Capacitance in farads.
+     * @param initial_volts Initial voltage.
+     */
+    explicit Capacitor(double farads, double initial_volts = 0.0)
+        : c(farads), v(initial_volts)
+    {}
+
+    /** Capacitance in farads. */
+    double capacitance() const { return c; }
+
+    /** Terminal voltage in volts. */
+    double voltage() const { return v; }
+
+    /** Force the terminal voltage (used by instruments and tests). */
+    void setVoltage(double volts) { v = volts < 0.0 ? 0.0 : volts; }
+
+    /** Inject charge in coulombs (negative to remove). */
+    void
+    addCharge(double coulombs)
+    {
+        v += coulombs / c;
+        if (v < 0.0)
+            v = 0.0;
+    }
+
+    /** Stored energy in joules at the present voltage. */
+    double energy() const { return 0.5 * c * v * v; }
+
+    /** Stored energy at an arbitrary voltage. */
+    double energyAt(double volts) const { return 0.5 * c * volts * volts; }
+
+  private:
+    double c;
+    double v;
+};
+
+} // namespace edb::energy
+
+#endif // EDB_ENERGY_CAPACITOR_HH

@@ -1,0 +1,182 @@
+#include "energy/power_system.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace edb::energy {
+
+PowerSystem::PowerSystem(sim::Simulator &simulator,
+                         std::string component_name,
+                         PowerSystemConfig config,
+                         const Harvester *harvester_model)
+    : sim::Component(simulator, std::move(component_name)),
+      cfg(config),
+      harvester(harvester_model),
+      cap(config.capacitanceF, config.initialVolts)
+{
+    if (cfg.capacitanceF <= 0.0)
+        sim::fatal("PowerSystem: capacitance must be > 0");
+    if (cfg.brownOutVolts >= cfg.turnOnVolts)
+        sim::fatal("PowerSystem: brown-out must be below turn-on");
+    if (!harvester)
+        sim::fatal("PowerSystem: harvester must not be null");
+    powered = cap.voltage() >= cfg.turnOnVolts;
+    lastUpdate = simulator.now();
+}
+
+void
+PowerSystem::start()
+{
+    if (started)
+        return;
+    started = true;
+    tick();
+}
+
+void
+PowerSystem::tick()
+{
+    advanceTo(now());
+    sim().scheduleIn(cfg.idleTickPeriod, [this] { tick(); });
+}
+
+PowerSystem::LoadHandle
+PowerSystem::addLoad(std::string load_name, double amps, bool enabled)
+{
+    advanceTo(now());
+    loads.push_back(Load{std::move(load_name), amps, enabled});
+    return loads.size() - 1;
+}
+
+void
+PowerSystem::setLoadCurrent(LoadHandle handle, double amps)
+{
+    advanceTo(now());
+    loads.at(handle).amps = amps;
+}
+
+void
+PowerSystem::setLoadEnabled(LoadHandle handle, bool enabled)
+{
+    advanceTo(now());
+    loads.at(handle).enabled = enabled;
+}
+
+double
+PowerSystem::loadCurrent(LoadHandle handle) const
+{
+    return loads.at(handle).amps;
+}
+
+bool
+PowerSystem::loadEnabled(LoadHandle handle) const
+{
+    return loads.at(handle).enabled;
+}
+
+double
+PowerSystem::totalLoadAmps() const
+{
+    double total = 0.0;
+    for (const auto &load : loads) {
+        if (load.enabled)
+            total += load.amps;
+    }
+    return total;
+}
+
+PowerSystem::SourceHandle
+PowerSystem::addSource(std::string source_name, SourceFn fn)
+{
+    advanceTo(now());
+    sources.push_back(Source{std::move(source_name), std::move(fn), true});
+    return sources.size() - 1;
+}
+
+void
+PowerSystem::setSourceEnabled(SourceHandle handle, bool enabled)
+{
+    advanceTo(now());
+    sources.at(handle).enabled = enabled;
+}
+
+void
+PowerSystem::addPowerListener(PowerListener listener)
+{
+    listeners.push_back(std::move(listener));
+}
+
+void
+PowerSystem::integrateStep(double dt_seconds, double t_seconds)
+{
+    double v = cap.voltage();
+    double in_amps = harvester->currentInto(v, t_seconds);
+    if (cfg.harvestNoiseSigma > 0.0 && in_amps > 0.0) {
+        double n = 1.0 + sim().rng().gaussian(cfg.harvestNoiseSigma);
+        in_amps *= n < 0.0 ? 0.0 : n;
+    }
+    for (const auto &src : sources) {
+        if (src.enabled)
+            in_amps += src.fn(v, t_seconds);
+    }
+    double out_amps = powered ? totalLoadAmps() : cfg.offLeakageAmps;
+    double dq_in = in_amps * dt_seconds;
+    double dq_out = out_amps * dt_seconds;
+    chargeIn += dq_in;
+    chargeOut += dq_out;
+    cap.addCharge(dq_in - dq_out);
+    if (cap.voltage() > cfg.maxVolts)
+        cap.setVoltage(cfg.maxVolts);
+}
+
+void
+PowerSystem::updateComparator()
+{
+    bool next = powered;
+    if (powered && cap.voltage() < cfg.brownOutVolts) {
+        next = false;
+        ++brownOuts;
+    } else if (!powered && cap.voltage() >= cfg.turnOnVolts) {
+        next = true;
+        ++boots;
+    }
+    if (next == powered)
+        return;
+    powered = next;
+    for (const auto &listener : listeners)
+        listener(powered);
+}
+
+void
+PowerSystem::advanceTo(sim::Tick when)
+{
+    if (integrating || when <= lastUpdate)
+        return;
+    integrating = true;
+    sim::Tick t = lastUpdate;
+    while (t < when) {
+        sim::Tick step = std::min<sim::Tick>(cfg.maxStep, when - t);
+        integrateStep(sim::secondsFromTicks(step),
+                      sim::secondsFromTicks(t));
+        t += step;
+        lastUpdate = t;
+        updateComparator();
+    }
+    integrating = false;
+}
+
+double
+PowerSystem::voltage()
+{
+    advanceTo(now());
+    return cap.voltage();
+}
+
+double
+PowerSystem::regulatedVoltage()
+{
+    return std::min(voltage(), cfg.regulatorVolts);
+}
+
+} // namespace edb::energy

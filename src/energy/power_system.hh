@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Target power system: storage capacitor + harvester + loads +
+ * comparators.
+ *
+ * This is the analog core of the intermittent execution model
+ * (paper Fig 2): the harvester charges the capacitor through its
+ * source resistance; when the voltage reaches the turn-on threshold
+ * the device boots and its load discharges the capacitor; when the
+ * voltage falls below the brown-out threshold the device powers off
+ * and the cycle repeats.
+ *
+ * Loads are piecewise-constant current sinks owned by device
+ * components (MCU core, peripherals, LEDs). Sources are signed
+ * current functions of (voltage, time) — the harvester, EDB's
+ * charge/discharge circuit, tethered supplies and per-pin leakage all
+ * inject through this interface, which is what makes
+ * energy-interference a *measured* quantity in this reproduction.
+ */
+
+#ifndef EDB_ENERGY_POWER_SYSTEM_HH
+#define EDB_ENERGY_POWER_SYSTEM_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "energy/capacitor.hh"
+#include "energy/harvester.hh"
+#include "sim/simulator.hh"
+#include "sim/time.hh"
+
+namespace edb::energy {
+
+/** Static electrical parameters of a target power system. */
+struct PowerSystemConfig
+{
+    /** Storage capacitance (WISP 5: 47 uF). */
+    double capacitanceF = 47e-6;
+    /** Comparator turn-on threshold (WISP 5: 2.4 V). */
+    double turnOnVolts = 2.4;
+    /** Comparator brown-out threshold (WISP 5: 1.8 V). */
+    double brownOutVolts = 1.8;
+    /** Board leakage while powered off. */
+    double offLeakageAmps = 1.0e-6;
+    /** Regulator nominal output. */
+    double regulatorVolts = 2.0;
+    /** Protection clamp on the capacitor voltage. */
+    double maxVolts = 5.0;
+    /** Initial capacitor voltage. */
+    double initialVolts = 0.0;
+    /**
+     * Relative sigma of multiplicative harvester noise, resampled
+     * each integration step. Ambient RF power fluctuates with
+     * fading, reader frequency hopping and antenna motion; this
+     * keeps charge-discharge cycles from phase-locking to the
+     * program loop the way an ideal constant source would.
+     */
+    double harvestNoiseSigma = 0.05;
+    /** Integration sub-step ceiling. */
+    sim::Tick maxStep = 5 * sim::oneUs;
+    /** Self-tick period that keeps the model advancing while idle. */
+    sim::Tick idleTickPeriod = 20 * sim::oneUs;
+};
+
+/**
+ * Integrates the capacitor voltage under harvester + load currents
+ * and drives the power-good comparator with hysteresis.
+ */
+class PowerSystem : public sim::Component
+{
+  public:
+    using LoadHandle = std::size_t;
+    using SourceHandle = std::size_t;
+    /** Signed current into the capacitor, amps, as f(volts, seconds). */
+    using SourceFn = std::function<double(double, double)>;
+    /** Power-state listener: called with true on turn-on, false on
+     *  brown-out. */
+    using PowerListener = std::function<void(bool)>;
+
+    PowerSystem(sim::Simulator &simulator, std::string component_name,
+                PowerSystemConfig config, const Harvester *harvester);
+
+    /** Begin self-ticking; call once after wiring up the device. */
+    void start();
+
+    /// @name Loads (piecewise-constant current sinks)
+    /// @{
+    LoadHandle addLoad(std::string load_name, double amps = 0.0,
+                       bool enabled = true);
+    void setLoadCurrent(LoadHandle handle, double amps);
+    void setLoadEnabled(LoadHandle handle, bool enabled);
+    double loadCurrent(LoadHandle handle) const;
+    bool loadEnabled(LoadHandle handle) const;
+    /** Sum of all enabled load currents right now. */
+    double totalLoadAmps() const;
+    /// @}
+
+    /// @name Sources (signed current injections, f(volts, seconds))
+    /// @{
+    SourceHandle addSource(std::string source_name, SourceFn fn);
+    void setSourceEnabled(SourceHandle handle, bool enabled);
+    /// @}
+
+    /** Integrate the analog state up to `when` (idempotent). */
+    void advanceTo(sim::Tick when);
+
+    /** Capacitor voltage after advancing to the present time. */
+    double voltage();
+
+    /** Capacitor voltage without advancing (for use in listeners). */
+    double voltageNoAdvance() const { return cap.voltage(); }
+
+    /** Regulated rail: min(Vcap, regulator nominal). Drops with Vcap
+     *  during power failure, as the paper notes in Section 4.1.2. */
+    double regulatedVoltage();
+
+    /** Comparator output: true between turn-on and brown-out. */
+    bool poweredOn() const { return powered; }
+
+    /** Register a power-state listener. */
+    void addPowerListener(PowerListener listener);
+
+    /** Stored energy in joules at present voltage. */
+    double storedEnergy() { return cap.energyAt(voltage()); }
+
+    /** Max storable energy (at turn-on voltage), the paper's "%* of
+     *  storage capacity" denominator. */
+    double
+    maxEnergy() const
+    {
+        return cap.energyAt(cfg.turnOnVolts);
+    }
+
+    /** Direct capacitor access for instruments and tests. */
+    Capacitor &capacitor() { return cap; }
+    const PowerSystemConfig &config() const { return cfg; }
+
+    /** Swap the harvester model (non-owning). */
+    void setHarvester(const Harvester *h) { harvester = h; }
+
+    /// @name Charge accounting (for conservation checks)
+    /// @{
+    double cumulativeChargeIn() const { return chargeIn; }
+    double cumulativeChargeOut() const { return chargeOut; }
+    /// @}
+
+    /** Number of turn-on events since construction. */
+    std::uint64_t bootCount() const { return boots; }
+    /** Number of brown-out events since construction. */
+    std::uint64_t brownOutCount() const { return brownOuts; }
+
+  private:
+    struct Load
+    {
+        std::string name;
+        double amps;
+        bool enabled;
+    };
+
+    struct Source
+    {
+        std::string name;
+        SourceFn fn;
+        bool enabled;
+    };
+
+    void integrateStep(double dt_seconds, double t_seconds);
+    void updateComparator();
+    void tick();
+
+    PowerSystemConfig cfg;
+    const Harvester *harvester;
+    Capacitor cap;
+    std::vector<Load> loads;
+    std::vector<Source> sources;
+    std::vector<PowerListener> listeners;
+    sim::Tick lastUpdate = 0;
+    bool powered = false;
+    bool integrating = false;
+    bool started = false;
+    double chargeIn = 0.0;
+    double chargeOut = 0.0;
+    std::uint64_t boots = 0;
+    std::uint64_t brownOuts = 0;
+};
+
+} // namespace edb::energy
+
+#endif // EDB_ENERGY_POWER_SYSTEM_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Regulated bench-style voltage supply model.
+ *
+ * Used for EDB's "tethered power" (keep-alive assertions, energy
+ * guards, active-mode debugging) and for the JTAG-debugger baseline
+ * that continuously powers the target and thereby masks intermittence
+ * (paper Section 2.2).
+ */
+
+#ifndef EDB_ENERGY_SUPPLY_HH
+#define EDB_ENERGY_SUPPLY_HH
+
+namespace edb::energy {
+
+/**
+ * Ideal voltage source behind a small series resistance. When
+ * enabled it drives the storage capacitor toward its set-point;
+ * current is signed, so it can also absorb charge if the capacitor
+ * sits above the set-point (a lab supply with sink capability).
+ */
+class VoltageSupply
+{
+  public:
+    /**
+     * @param volts Set-point voltage.
+     * @param series_ohms Output resistance (drives the RC time
+     *        constant of the tether ramp visible in paper Fig 7).
+     */
+    VoltageSupply(double volts, double series_ohms)
+        : setpoint(volts), seriesOhms(series_ohms)
+    {}
+
+    /** Current delivered into a node at `node_volts` (amps). */
+    double
+    currentInto(double node_volts) const
+    {
+        if (!on)
+            return 0.0;
+        return (setpoint - node_volts) / seriesOhms;
+    }
+
+    /** Enable / disable the output. */
+    void setEnabled(bool enabled) { on = enabled; }
+    bool enabled() const { return on; }
+
+    /** Adjust the set-point. */
+    void setVoltage(double volts) { setpoint = volts; }
+    double voltage() const { return setpoint; }
+
+  private:
+    double setpoint;
+    double seriesOhms;
+    bool on = false;
+};
+
+} // namespace edb::energy
+
+#endif // EDB_ENERGY_SUPPLY_HH

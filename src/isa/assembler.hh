@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Two-pass assembler for EH32.
+ *
+ * The guest applications (paper Section 5.3's case studies) and the
+ * target-side libEDB runtime are written in this assembly dialect.
+ *
+ * Syntax:
+ *
+ *     ; comment (also '#')
+ *     .org   0x4000          ; set location counter
+ *     .entry main            ; program entry point
+ *     .irq   dbg_isr         ; debug-interrupt handler
+ *     .equ   NAME, expr      ; define a constant
+ *     .word  expr [, expr]*  ; emit 32-bit words
+ *     .byte  expr [, expr]*  ; emit bytes
+ *     .space N               ; emit N zero bytes
+ *     .asciz "text"          ; NUL-terminated string
+ *     label:
+ *         li    r1, 42
+ *         la    r2, buffer   ; pseudo: lui+ori, always 8 bytes
+ *         ldw   r3, [r2 + 4]
+ *         stw   r3, [r2]
+ *         cmp   r1, r3
+ *         beq   done
+ *         call  fn
+ *
+ * Expressions: decimal / 0x hex / 'c' char literals, symbols, and
+ * single +/- combinations (`sym + 4`). Registers are r0..r15 with
+ * the alias `sp` for r15.
+ */
+
+#ifndef EDB_ISA_ASSEMBLER_HH
+#define EDB_ISA_ASSEMBLER_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "isa/program.hh"
+
+namespace edb::isa {
+
+/** Error thrown on malformed assembly; message includes line number. */
+class AsmError : public std::runtime_error
+{
+  public:
+    explicit AsmError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/**
+ * Assemble EH32 source text into a program image.
+ *
+ * @param source Assembly text.
+ * @param origin Default location counter before any `.org`.
+ * @return Assembled program.
+ * @throws AsmError on any syntax or range error.
+ */
+Program assemble(const std::string &source, Addr origin = 0x4000);
+
+} // namespace edb::isa
+
+#endif // EDB_ISA_ASSEMBLER_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Annotated program listings (objdump-style).
+ *
+ * Renders an assembled `Program` as address / raw word / mnemonic
+ * columns with symbol labels interleaved — the firmware-inspection
+ * view a developer expects from a toolchain, and what the examples
+ * print when walking through the case-study binaries.
+ */
+
+#ifndef EDB_ISA_LISTING_HH
+#define EDB_ISA_LISTING_HH
+
+#include <ostream>
+#include <string>
+
+#include "isa/program.hh"
+
+namespace edb::isa {
+
+/** Listing options. */
+struct ListingOptions
+{
+    /** Try to decode words as instructions (else raw data). */
+    bool decodeInstructions = true;
+    /** Include a symbol cross-reference header. */
+    bool symbolTable = true;
+    /** Limit emitted lines (0 = no limit). */
+    std::size_t maxLines = 0;
+};
+
+/**
+ * Write an annotated listing of `program` to `os`.
+ * @return number of lines emitted.
+ */
+std::size_t writeListing(std::ostream &os, const Program &program,
+                         const ListingOptions &options = {});
+
+/** Render one address's word as a listing line (no label). */
+std::string listingLine(Addr addr, std::uint32_t word,
+                        bool decode_instruction = true);
+
+} // namespace edb::isa
+
+#endif // EDB_ISA_LISTING_HH

@@ -1,0 +1,31 @@
+#include "isa/program.hh"
+
+#include "sim/logging.hh"
+
+namespace edb::isa {
+
+std::uint32_t
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        sim::fatal("Program: unknown symbol '", name, "'");
+    return it->second;
+}
+
+bool
+Program::hasSymbol(const std::string &name) const
+{
+    return symbols.count(name) != 0;
+}
+
+std::size_t
+Program::totalBytes() const
+{
+    std::size_t total = 0;
+    for (const auto &seg : segments)
+        total += seg.bytes.size();
+    return total;
+}
+
+} // namespace edb::isa

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Assembled program image.
+ *
+ * A `Program` is what the assembler produces and what gets "flashed"
+ * into the target's FRAM: byte segments at absolute addresses, a
+ * symbol table, and the entry point that the MCU's reset vector will
+ * point at.
+ */
+
+#ifndef EDB_ISA_PROGRAM_HH
+#define EDB_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace edb::isa {
+
+/** Target address type (mirrors mem::Addr without the dependency). */
+using Addr = std::uint32_t;
+
+/** An assembled program image. */
+struct Program
+{
+    struct Segment
+    {
+        Addr base = 0;
+        std::vector<std::uint8_t> bytes;
+    };
+
+    /** Byte segments in ascending address order. */
+    std::vector<Segment> segments;
+
+    /** Label / .equ symbol values. */
+    std::map<std::string, std::uint32_t> symbols;
+
+    /** Entry point (falls back to the first segment base). */
+    Addr entry = 0;
+
+    /** Address of the debug-interrupt handler (0 = none). */
+    Addr irqHandler = 0;
+
+    /** Value of a symbol; throws sim::FatalError when missing. */
+    std::uint32_t symbol(const std::string &name) const;
+
+    /** True when the symbol exists. */
+    bool hasSymbol(const std::string &name) const;
+
+    /** Total bytes across all segments. */
+    std::size_t totalBytes() const;
+};
+
+} // namespace edb::isa
+
+#endif // EDB_ISA_PROGRAM_HH

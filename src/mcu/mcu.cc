@@ -1,0 +1,673 @@
+#include "mcu/mcu.hh"
+
+#include <algorithm>
+
+#include "mcu/mmio_map.hh"
+#include "sim/logging.hh"
+
+namespace edb::mcu {
+
+namespace {
+
+/** Checkpoint slot field offsets (bytes). */
+constexpr mem::Addr ckMagicOff = 0;
+constexpr mem::Addr ckSeqOff = 4;
+constexpr mem::Addr ckPcOff = 8;
+constexpr mem::Addr ckFlagsOff = 12;
+constexpr mem::Addr ckSpOff = 16;
+constexpr mem::Addr ckStackLenOff = 20;
+constexpr mem::Addr ckRegsOff = 24;
+constexpr mem::Addr ckStackOff = ckRegsOff + 16 * 4;
+constexpr std::uint32_t ckMagic = 0x43484B50; // "CHKP"
+
+} // namespace
+
+const char *
+mcuStateName(McuState state)
+{
+    switch (state) {
+      case McuState::Off: return "off";
+      case McuState::Booting: return "booting";
+      case McuState::Running: return "running";
+      case McuState::Halted: return "halted";
+      case McuState::Faulted: return "faulted";
+    }
+    return "unknown";
+}
+
+const char *
+mcuFaultName(McuFault fault)
+{
+    switch (fault) {
+      case McuFault::None: return "none";
+      case McuFault::IllegalInstr: return "illegal-instruction";
+      case McuFault::BusError: return "bus-error";
+      case McuFault::Misaligned: return "misaligned";
+    }
+    return "unknown";
+}
+
+Mcu::Mcu(sim::Simulator &simulator, std::string component_name,
+         sim::TimeCursor &time_cursor, mem::MemoryMap &memory,
+         energy::PowerSystem &power_sys, McuConfig config)
+    : sim::Component(simulator, std::move(component_name)),
+      cursor(time_cursor),
+      mem_(memory),
+      power(power_sys),
+      cfg(config)
+{
+    cyclePeriod_ = sim::ticksFromSeconds(1.0 / cfg.clockHz);
+    chkptEnabled = cfg.checkpointingEnabled;
+    coreLoad = power.addLoad(name() + ".core", cfg.activeAmps, false);
+    power.addPowerListener([this](bool on) { onPowerChange(on); });
+}
+
+void
+Mcu::installMmio(mem::MmioRegion &mmio)
+{
+    mmio.addRegister(
+        mmio::cycleLo, name() + ".cycleLo",
+        [this] { return static_cast<std::uint32_t>(cycles); }, nullptr);
+    mmio.addRegister(
+        mmio::cycleHi, name() + ".cycleHi",
+        [this] { return static_cast<std::uint32_t>(cycles >> 32); },
+        nullptr);
+    mmio.addRegister(
+        mmio::chkptCtl, name() + ".chkptCtl",
+        [this] { return chkptEnabled ? 1u : 0u; },
+        [this](std::uint32_t v) { chkptEnabled = v & 1u; });
+    mmio.addRegister(
+        mmio::sleep, name() + ".sleep",
+        [this] {
+            return static_cast<std::uint32_t>(sleepCycles);
+        },
+        [this](std::uint32_t v) {
+            sleepCycles = v;
+            if (sleepCycles > 0)
+                power.setLoadCurrent(coreLoad, cfg.sleepAmps);
+        });
+}
+
+void
+Mcu::loadProgram(const isa::Program &program)
+{
+    for (const auto &seg : program.segments) {
+        for (std::size_t i = 0; i < seg.bytes.size(); ++i) {
+            mem::Addr addr = seg.base + static_cast<mem::Addr>(i);
+            if (mem_.write8(addr, seg.bytes[i]) !=
+                mem::AccessResult::Ok) {
+                sim::fatal("Mcu::loadProgram: address ", addr,
+                           " is not mapped");
+            }
+        }
+    }
+    entry = program.entry;
+    irqHandler = program.irqHandler;
+    chkptEnabled = cfg.checkpointingEnabled;
+    invalidateCheckpoints();
+}
+
+void
+Mcu::invalidateCheckpoints()
+{
+    for (int slot = 0; slot < 2; ++slot) {
+        mem::Addr base =
+            cfg.checkpointBase + slot * cfg.checkpointSlotSize;
+        mem_.write32(base + ckMagicOff, 0);
+        mem_.write32(base + ckSeqOff, 0);
+    }
+}
+
+void
+Mcu::onPowerChange(bool on)
+{
+    if (on) {
+        state_ = McuState::Booting;
+        power.setLoadCurrent(coreLoad, cfg.activeAmps);
+        power.setLoadEnabled(coreLoad, true);
+        bootEvent = cursor.scheduleIn(cfg.bootDelay, [this] { boot(); });
+        return;
+    }
+    // Brown-out: volatile state is lost; the board reset hook poisons
+    // SRAM and resets peripherals.
+    state_ = McuState::Off;
+    fault_ = McuFault::None;
+    inIrq = false;
+    sleepCycles = 0;
+    if (sliceEvent != sim::invalidEventId) {
+        sim().cancel(sliceEvent);
+        sliceEvent = sim::invalidEventId;
+    }
+    if (bootEvent != sim::invalidEventId) {
+        sim().cancel(bootEvent);
+        bootEvent = sim::invalidEventId;
+    }
+    power.setLoadEnabled(coreLoad, false);
+    if (resetHook)
+        resetHook();
+}
+
+void
+Mcu::boot()
+{
+    bootEvent = sim::invalidEventId;
+    if (state_ != McuState::Booting)
+        return;
+    regs.fill(0);
+    flags_ = isa::Flags{};
+    fault_ = McuFault::None;
+    inIrq = false;
+    sleepCycles = 0;
+    regs[isa::regSp] = cfg.stackTop;
+    pc_ = entry;
+    state_ = McuState::Running;
+    ++reboots;
+    power.setLoadCurrent(coreLoad, cfg.activeAmps);
+    power.setLoadEnabled(coreLoad, true);
+    if (chkptEnabled)
+        tryRestore();
+    sliceEvent = sim().schedule(cursor.now(), [this] { runSlice(); });
+}
+
+void
+Mcu::runSlice()
+{
+    sliceEvent = sim::invalidEventId;
+    if (state_ != McuState::Running)
+        return;
+    sim::Tick t = std::max(now(), cursor.now());
+    sim::Tick end = t + cfg.sliceQuantum;
+    while (state_ == McuState::Running && t < end) {
+        if (sim().nextEventTime() <= t)
+            break;
+        if (!step(t))
+            break;
+    }
+    if (state_ == McuState::Running)
+        sliceEvent = sim().schedule(t, [this] { runSlice(); });
+}
+
+bool
+Mcu::step(sim::Tick &t)
+{
+    // Timed low-power wait: consume the remaining sleep budget in
+    // bounded chunks (so queued events interleave at their proper
+    // times) at the sleep current. A debug interrupt wakes early.
+    if (sleepCycles > 0) {
+        if (irqLine && irqHandler != 0) {
+            sleepCycles = 0;
+        } else {
+            std::uint64_t chunk = std::min<std::uint64_t>(
+                sleepCycles, 200); // 50 us at 4 MHz
+            sim::Tick dt =
+                static_cast<sim::Tick>(chunk) * cyclePeriod_;
+            power.advanceTo(t + dt);
+            if (state_ != McuState::Running)
+                return false;
+            cursor.advance(t + dt);
+            cycles += chunk;
+            t += dt;
+            sleepCycles -= chunk;
+        }
+        if (sleepCycles == 0)
+            power.setLoadCurrent(coreLoad, cfg.activeAmps);
+        return true;
+    }
+
+    // Fetch.
+    std::uint32_t word;
+    if (!memRead32(pc_, word))
+        return false;
+    auto decoded = isa::decode(word);
+    if (!decoded) {
+        raiseFault(McuFault::IllegalInstr);
+        return false;
+    }
+    const isa::Instr &instr = *decoded;
+
+    // Cost the instruction.
+    unsigned cyc = isa::baseCycles(instr.op);
+    switch (instr.op) {
+      case isa::Opcode::Ldw:
+      case isa::Opcode::Ldb:
+      case isa::Opcode::Push:
+      case isa::Opcode::Pop:
+      case isa::Opcode::Call:
+      case isa::Opcode::Callr:
+      case isa::Opcode::Ret:
+      case isa::Opcode::Reti:
+        cyc += cfg.memExtraCycles;
+        break;
+      case isa::Opcode::Stw:
+      case isa::Opcode::Stb: {
+        cyc += cfg.memExtraCycles;
+        mem::Addr ea = regs[instr.rs] +
+                       static_cast<std::uint32_t>(instr.imm);
+        mem::Region *region = mem_.find(ea);
+        if (region && region->kind() == mem::RegionKind::Fram)
+            cyc += cfg.framWriteExtraCycles;
+        break;
+      }
+      case isa::Opcode::Chkpt:
+        if (chkptEnabled)
+            cyc = checkpointCostCycles();
+        break;
+      default:
+        break;
+    }
+
+    // Drain the supply across the instruction; a brown-out mid
+    // instruction kills it before it commits.
+    sim::Tick dt = static_cast<sim::Tick>(cyc) * cyclePeriod_;
+    power.advanceTo(t + dt);
+    if (state_ != McuState::Running)
+        return false;
+    cursor.advance(t + dt);
+    cycles += cyc;
+    ++instrs;
+    if (tracer)
+        tracer(pc_, instr);
+    execute(instr, t + dt);
+    t += dt;
+    if (state_ != McuState::Running)
+        return false;
+
+    // Debug interrupt, taken at instruction boundaries.
+    if (irqLine && !inIrq && irqHandler != 0) {
+        sim::Tick idt =
+            static_cast<sim::Tick>(cfg.irqEntryCycles) * cyclePeriod_;
+        power.advanceTo(t + idt);
+        if (state_ != McuState::Running)
+            return false;
+        cursor.advance(t + idt);
+        cycles += cfg.irqEntryCycles;
+        t += idt;
+        enterIrq();
+        if (state_ != McuState::Running)
+            return false;
+    }
+    return true;
+}
+
+void
+Mcu::enterIrq()
+{
+    regs[isa::regSp] -= 4;
+    if (!memWrite32(regs[isa::regSp], flags_.pack()))
+        return;
+    regs[isa::regSp] -= 4;
+    if (!memWrite32(regs[isa::regSp], pc_))
+        return;
+    pc_ = irqHandler;
+    inIrq = true;
+}
+
+void
+Mcu::setFlagsFromCompare(std::uint32_t a, std::uint32_t b)
+{
+    std::uint32_t r = a - b;
+    flags_.z = a == b;
+    flags_.n = (r >> 31) & 1u;
+    flags_.c = a >= b;
+    flags_.v = (((a ^ b) & (a ^ r)) >> 31) & 1u;
+}
+
+void
+Mcu::execute(const isa::Instr &i, sim::Tick)
+{
+    using isa::Opcode;
+    mem::Addr next = pc_ + 4;
+    auto uimm = static_cast<std::uint32_t>(i.imm);
+
+    switch (i.op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::Halt:
+        state_ = McuState::Halted;
+        power.setLoadCurrent(coreLoad, cfg.haltAmps);
+        break;
+      case Opcode::Li:
+        regs[i.rd] = uimm;
+        break;
+      case Opcode::Lui:
+        regs[i.rd] = (uimm & 0xFFFFu) << 16;
+        break;
+      case Opcode::Mov:
+        regs[i.rd] = regs[i.rs];
+        break;
+      case Opcode::Add:
+        regs[i.rd] = regs[i.rs] + regs[i.rt];
+        break;
+      case Opcode::Sub:
+        regs[i.rd] = regs[i.rs] - regs[i.rt];
+        break;
+      case Opcode::Mul:
+        regs[i.rd] = regs[i.rs] * regs[i.rt];
+        break;
+      case Opcode::Divu:
+        regs[i.rd] = regs[i.rt] == 0 ? 0xFFFFFFFFu
+                                     : regs[i.rs] / regs[i.rt];
+        break;
+      case Opcode::Remu:
+        regs[i.rd] =
+            regs[i.rt] == 0 ? regs[i.rs] : regs[i.rs] % regs[i.rt];
+        break;
+      case Opcode::And:
+        regs[i.rd] = regs[i.rs] & regs[i.rt];
+        break;
+      case Opcode::Or:
+        regs[i.rd] = regs[i.rs] | regs[i.rt];
+        break;
+      case Opcode::Xor:
+        regs[i.rd] = regs[i.rs] ^ regs[i.rt];
+        break;
+      case Opcode::Shl:
+        regs[i.rd] = regs[i.rs] << (regs[i.rt] & 31u);
+        break;
+      case Opcode::Shr:
+        regs[i.rd] = regs[i.rs] >> (regs[i.rt] & 31u);
+        break;
+      case Opcode::Sar:
+        regs[i.rd] = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(regs[i.rs]) >>
+            (regs[i.rt] & 31u));
+        break;
+      case Opcode::Addi:
+        regs[i.rd] = regs[i.rs] + uimm;
+        break;
+      case Opcode::Andi:
+        regs[i.rd] = regs[i.rs] & (uimm & 0xFFFFu);
+        break;
+      case Opcode::Ori:
+        regs[i.rd] = regs[i.rs] | (uimm & 0xFFFFu);
+        break;
+      case Opcode::Xori:
+        regs[i.rd] = regs[i.rs] ^ (uimm & 0xFFFFu);
+        break;
+      case Opcode::Shli:
+        regs[i.rd] = regs[i.rs] << (uimm & 31u);
+        break;
+      case Opcode::Shri:
+        regs[i.rd] = regs[i.rs] >> (uimm & 31u);
+        break;
+      case Opcode::Cmp:
+        setFlagsFromCompare(regs[i.rs], regs[i.rt]);
+        break;
+      case Opcode::Cmpi:
+        setFlagsFromCompare(regs[i.rs], uimm);
+        break;
+      case Opcode::Br:
+        next = pc_ + 4 + uimm;
+        break;
+      case Opcode::Beq:
+        if (flags_.z)
+            next = pc_ + 4 + uimm;
+        break;
+      case Opcode::Bne:
+        if (!flags_.z)
+            next = pc_ + 4 + uimm;
+        break;
+      case Opcode::Blt:
+        if (flags_.n != flags_.v)
+            next = pc_ + 4 + uimm;
+        break;
+      case Opcode::Bge:
+        if (flags_.n == flags_.v)
+            next = pc_ + 4 + uimm;
+        break;
+      case Opcode::Bltu:
+        if (!flags_.c)
+            next = pc_ + 4 + uimm;
+        break;
+      case Opcode::Bgeu:
+        if (flags_.c)
+            next = pc_ + 4 + uimm;
+        break;
+      case Opcode::Ldw: {
+        std::uint32_t v;
+        if (!memRead32(regs[i.rs] + uimm, v))
+            return;
+        regs[i.rd] = v;
+        break;
+      }
+      case Opcode::Ldb: {
+        std::uint8_t v;
+        if (!memRead8(regs[i.rs] + uimm, v))
+            return;
+        regs[i.rd] = v;
+        break;
+      }
+      case Opcode::Stw:
+        if (!memWrite32(regs[i.rs] + uimm, regs[i.rd]))
+            return;
+        break;
+      case Opcode::Stb:
+        if (!memWrite8(regs[i.rs] + uimm,
+                       static_cast<std::uint8_t>(regs[i.rd])))
+            return;
+        break;
+      case Opcode::Push:
+        regs[isa::regSp] -= 4;
+        if (!memWrite32(regs[isa::regSp], regs[i.rd]))
+            return;
+        break;
+      case Opcode::Pop: {
+        std::uint32_t v;
+        if (!memRead32(regs[isa::regSp], v))
+            return;
+        regs[isa::regSp] += 4;
+        regs[i.rd] = v;
+        break;
+      }
+      case Opcode::Call:
+        regs[isa::regSp] -= 4;
+        if (!memWrite32(regs[isa::regSp], pc_ + 4))
+            return;
+        next = pc_ + 4 + uimm;
+        break;
+      case Opcode::Callr:
+        regs[isa::regSp] -= 4;
+        if (!memWrite32(regs[isa::regSp], pc_ + 4))
+            return;
+        next = regs[i.rs];
+        break;
+      case Opcode::Ret: {
+        std::uint32_t ra;
+        if (!memRead32(regs[isa::regSp], ra))
+            return;
+        regs[isa::regSp] += 4;
+        next = ra;
+        break;
+      }
+      case Opcode::Reti: {
+        std::uint32_t ra;
+        if (!memRead32(regs[isa::regSp], ra))
+            return;
+        regs[isa::regSp] += 4;
+        std::uint32_t fw;
+        if (!memRead32(regs[isa::regSp], fw))
+            return;
+        regs[isa::regSp] += 4;
+        flags_ = isa::Flags::unpack(fw);
+        inIrq = false;
+        next = ra;
+        break;
+      }
+      case Opcode::Chkpt:
+        if (chkptEnabled)
+            regs[0] = doCheckpoint() ? 1u : 0u;
+        break;
+    }
+    pc_ = next;
+}
+
+unsigned
+Mcu::checkpointCostCycles() const
+{
+    mem::Addr sp = regs[isa::regSp];
+    mem::Addr stack_bytes = sp <= cfg.stackTop ? cfg.stackTop - sp : 0;
+    unsigned words = 22 + stack_bytes / 4;
+    return words * (1 + cfg.memExtraCycles + cfg.framWriteExtraCycles);
+}
+
+bool
+Mcu::doCheckpoint()
+{
+    mem::Addr sp = regs[isa::regSp];
+    if (sp > cfg.stackTop)
+        return false;
+    mem::Addr stack_bytes = cfg.stackTop - sp;
+    if (ckStackOff + stack_bytes > cfg.checkpointSlotSize)
+        return false;
+
+    // Double-buffered: write into the slot with the older sequence
+    // number, then commit by writing the new sequence number last.
+    std::uint32_t seq0 = debugRead32(cfg.checkpointBase + ckSeqOff);
+    std::uint32_t seq1 = debugRead32(cfg.checkpointBase +
+                                     cfg.checkpointSlotSize + ckSeqOff);
+    int slot = seq0 <= seq1 ? 0 : 1;
+    std::uint32_t next_seq = std::max(seq0, seq1) + 1;
+    mem::Addr base = cfg.checkpointBase + slot * cfg.checkpointSlotSize;
+
+    // pc saved as the instruction after CHKPT: execution resumes
+    // there on restore.
+    if (!memWrite32(base + ckMagicOff, ckMagic) ||
+        !memWrite32(base + ckPcOff, pc_ + 4) ||
+        !memWrite32(base + ckFlagsOff, flags_.pack()) ||
+        !memWrite32(base + ckSpOff, sp) ||
+        !memWrite32(base + ckStackLenOff, stack_bytes)) {
+        return false;
+    }
+    for (unsigned r = 0; r < isa::numRegs; ++r) {
+        if (!memWrite32(base + ckRegsOff + r * 4, regs[r]))
+            return false;
+    }
+    for (mem::Addr off = 0; off < stack_bytes; ++off) {
+        std::uint8_t b;
+        if (!memRead8(sp + off, b) ||
+            !memWrite8(base + ckStackOff + off, b)) {
+            return false;
+        }
+    }
+    if (!memWrite32(base + ckSeqOff, next_seq))
+        return false;
+    ++checkpointsTaken;
+    return true;
+}
+
+bool
+Mcu::tryRestore()
+{
+    int best_slot = -1;
+    std::uint32_t best_seq = 0;
+    for (int slot = 0; slot < 2; ++slot) {
+        mem::Addr base =
+            cfg.checkpointBase + slot * cfg.checkpointSlotSize;
+        std::uint32_t magic = debugRead32(base + ckMagicOff);
+        std::uint32_t seq = debugRead32(base + ckSeqOff);
+        if (magic == ckMagic && seq > best_seq) {
+            best_seq = seq;
+            best_slot = slot;
+        }
+    }
+    if (best_slot < 0)
+        return false;
+    mem::Addr base =
+        cfg.checkpointBase + best_slot * cfg.checkpointSlotSize;
+    mem::Addr sp = debugRead32(base + ckSpOff);
+    mem::Addr stack_bytes = debugRead32(base + ckStackLenOff);
+    if (sp > cfg.stackTop ||
+        ckStackOff + stack_bytes > cfg.checkpointSlotSize) {
+        return false;
+    }
+    for (unsigned r = 0; r < isa::numRegs; ++r)
+        regs[r] = debugRead32(base + ckRegsOff + r * 4);
+    regs[isa::regSp] = sp;
+    flags_ = isa::Flags::unpack(debugRead32(base + ckFlagsOff));
+    for (mem::Addr off = 0; off < stack_bytes; ++off) {
+        std::uint8_t b = 0;
+        mem_.read8(base + ckStackOff + off, b);
+        mem_.write8(sp + off, b);
+    }
+    pc_ = debugRead32(base + ckPcOff);
+    ++checkpointsRestored;
+    return true;
+}
+
+void
+Mcu::raiseFault(McuFault cause)
+{
+    // A crashed core keeps drawing current until the supply browns
+    // out: the symptom the paper's case study describes as "the GPIO
+    // pin indicating main loop progress stops toggling".
+    fault_ = cause;
+    state_ = McuState::Faulted;
+    ++faults;
+}
+
+bool
+Mcu::memRead32(mem::Addr addr, std::uint32_t &value)
+{
+    switch (mem_.read32(addr, value)) {
+      case mem::AccessResult::Ok:
+        return true;
+      case mem::AccessResult::Misaligned:
+        raiseFault(McuFault::Misaligned);
+        return false;
+      case mem::AccessResult::Unmapped:
+        raiseFault(McuFault::BusError);
+        return false;
+    }
+    return false;
+}
+
+bool
+Mcu::memWrite32(mem::Addr addr, std::uint32_t value)
+{
+    switch (mem_.write32(addr, value)) {
+      case mem::AccessResult::Ok:
+        return true;
+      case mem::AccessResult::Misaligned:
+        raiseFault(McuFault::Misaligned);
+        return false;
+      case mem::AccessResult::Unmapped:
+        raiseFault(McuFault::BusError);
+        return false;
+    }
+    return false;
+}
+
+bool
+Mcu::memRead8(mem::Addr addr, std::uint8_t &value)
+{
+    if (mem_.read8(addr, value) == mem::AccessResult::Ok)
+        return true;
+    raiseFault(McuFault::BusError);
+    return false;
+}
+
+bool
+Mcu::memWrite8(mem::Addr addr, std::uint8_t value)
+{
+    if (mem_.write8(addr, value) == mem::AccessResult::Ok)
+        return true;
+    raiseFault(McuFault::BusError);
+    return false;
+}
+
+std::uint32_t
+Mcu::debugRead32(mem::Addr addr) const
+{
+    std::uint32_t value = 0;
+    if (mem_.read32(addr, value) != mem::AccessResult::Ok)
+        return 0xFFFFFFFFu;
+    return value;
+}
+
+void
+Mcu::debugWrite32(mem::Addr addr, std::uint32_t value)
+{
+    mem_.write32(addr, value);
+}
+
+} // namespace edb::mcu

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * The EH32 MCU core: interpreter, power behaviour, checkpoint unit.
+ *
+ * This is the execution substrate for the intermittent model of the
+ * paper (Section 2): the core draws supply current per cycle while
+ * running; when the power system browns out, the core stops wherever
+ * it happens to be (losing the in-flight instruction), volatile state
+ * is destroyed, and the next turn-on reboots from the entry point —
+ * or from a hardware checkpoint when the Mementos/QuickRecall-style
+ * checkpoint unit is enabled.
+ */
+
+#ifndef EDB_MCU_MCU_HH
+#define EDB_MCU_MCU_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "energy/power_system.hh"
+#include "isa/isa.hh"
+#include "isa/program.hh"
+#include "mem/memory.hh"
+#include "sim/simulator.hh"
+#include "sim/time_cursor.hh"
+
+namespace edb::mcu {
+
+/** Static configuration of the MCU core. */
+struct McuConfig
+{
+    /** Core clock (WISP 5 runs its MSP430 around 4 MHz). */
+    double clockHz = 4e6;
+    /** Supply current while executing (paper: ~0.5 mA at 4 MHz). */
+    double activeAmps = 0.5e-3;
+    /** Supply current when halted (deep sleep). */
+    double haltAmps = 50e-6;
+    /** Supply current during a timed low-power wait (LPM sleep). */
+    double sleepAmps = 2e-6;
+    /** Extra cycles for any data-memory access. */
+    unsigned memExtraCycles = 1;
+    /** Additional wait-state cycles for FRAM writes. */
+    unsigned framWriteExtraCycles = 2;
+    /** Cycles consumed entering the debug interrupt handler. */
+    unsigned irqEntryCycles = 6;
+    /** Reset / power-management settle time after turn-on. */
+    sim::Tick bootDelay = 100 * sim::oneUs;
+    /** Max instructions-slice length per event. */
+    sim::Tick sliceQuantum = 100 * sim::oneUs;
+
+    /** Hardware checkpoint unit enable (restore-on-boot). */
+    bool checkpointingEnabled = false;
+    /** FRAM base of the two checkpoint slots. */
+    mem::Addr checkpointBase = 0xE000;
+    /** Bytes per checkpoint slot (two slots used). */
+    mem::Addr checkpointSlotSize = 0x800;
+    /** Initial stack pointer / top bound of checkpointed stack. */
+    mem::Addr stackTop = 0x4000;
+};
+
+/** Lifecycle state of the core. */
+enum class McuState : std::uint8_t
+{
+    Off,     ///< Below brown-out; no execution.
+    Booting, ///< Powered, waiting out the reset delay.
+    Running, ///< Executing instructions.
+    Halted,  ///< HALT executed; low-power until reboot.
+    Faulted, ///< Undefined behaviour hit; dead until reboot.
+};
+
+/** Cause of a fault. */
+enum class McuFault : std::uint8_t
+{
+    None,
+    IllegalInstr, ///< Undecodable opcode reached.
+    BusError,     ///< Access to an unmapped address (wild pointer).
+    Misaligned,   ///< Unaligned word access.
+};
+
+/** Human-readable state / fault names. */
+const char *mcuStateName(McuState state);
+const char *mcuFaultName(McuFault fault);
+
+/**
+ * EH32 interpreter bound to a memory map and a power system.
+ */
+class Mcu : public sim::Component
+{
+  public:
+    /** Reset hook: invoked on every reboot (peripheral reset). */
+    using ResetHook = std::function<void()>;
+    /** Instruction tracer: (pc, decoded instruction). */
+    using Tracer = std::function<void(mem::Addr, const isa::Instr &)>;
+
+    Mcu(sim::Simulator &simulator, std::string component_name,
+        sim::TimeCursor &cursor, mem::MemoryMap &memory,
+        energy::PowerSystem &power, McuConfig config = {});
+
+    /// @name Program loading
+    /// @{
+    /** Flash a program image into memory and set vectors. */
+    void loadProgram(const isa::Program &program);
+    void setEntry(mem::Addr addr) { entry = addr; }
+    void setIrqHandler(mem::Addr addr) { irqHandler = addr; }
+    mem::Addr entryPoint() const { return entry; }
+    /// @}
+
+    /// @name Core state
+    /// @{
+    McuState state() const { return state_; }
+    McuFault fault() const { return fault_; }
+    mem::Addr pc() const { return pc_; }
+    std::uint32_t reg(unsigned index) const { return regs.at(index); }
+    void setReg(unsigned index, std::uint32_t v) { regs.at(index) = v; }
+    const isa::Flags &flags() const { return flags_; }
+    /// @}
+
+    /// @name Statistics
+    /// @{
+    std::uint64_t cycleCount() const { return cycles; }
+    std::uint64_t instrCount() const { return instrs; }
+    std::uint64_t rebootCount() const { return reboots; }
+    std::uint64_t faultCount() const { return faults; }
+    std::uint64_t checkpointCount() const { return checkpointsTaken; }
+    std::uint64_t restoreCount() const { return checkpointsRestored; }
+    /// @}
+
+    /// @name Debug interrupt (EDB's "Interrupt" line, paper Fig 5)
+    /// @{
+    void raiseDebugIrq() { irqLine = true; }
+    void clearDebugIrq() { irqLine = false; }
+    bool inDebugIrq() const { return inIrq; }
+    /// @}
+
+    /** Peripheral/board reset hook called on each reboot. */
+    void setResetHook(ResetHook hook) { resetHook = std::move(hook); }
+
+    /** Optional instruction tracer (tests, debugging). */
+    void setTracer(Tracer t) { tracer = std::move(t); }
+
+    /** Live checkpoint-unit enable (also via MMIO chkptCtl). */
+    void setCheckpointingEnabled(bool on) { chkptEnabled = on; }
+    bool checkpointingEnabled() const { return chkptEnabled; }
+
+    /** True while in a timed low-power wait (see mmio::sleep). */
+    bool sleeping() const { return sleepCycles > 0; }
+
+    /** Zero out both checkpoint slots (done at program load). */
+    void invalidateCheckpoints();
+
+    /** Install the cycle counter and checkpoint-control registers. */
+    void installMmio(mem::MmioRegion &mmio);
+
+    /// @name Instrument access (not the debugger protocol path)
+    /// @{
+    std::uint32_t debugRead32(mem::Addr addr) const;
+    void debugWrite32(mem::Addr addr, std::uint32_t value);
+    /// @}
+
+    const McuConfig &config() const { return cfg; }
+
+    /** Tick duration of one core clock cycle. */
+    sim::Tick cyclePeriod() const { return cyclePeriod_; }
+
+  private:
+    void onPowerChange(bool on);
+    void boot();
+    void runSlice();
+    /** Execute one instruction at local time `t`; advances `t`.
+     *  @return false when the slice must end (power loss, halt,
+     *  fault). */
+    bool step(sim::Tick &t);
+    void execute(const isa::Instr &instr, sim::Tick t);
+    void raiseFault(McuFault cause);
+    void enterIrq();
+    void setFlagsFromCompare(std::uint32_t a, std::uint32_t b);
+
+    bool doCheckpoint();
+    bool tryRestore();
+    unsigned checkpointCostCycles() const;
+
+    /// Memory helpers that fault on error; return false on fault.
+    bool memRead32(mem::Addr addr, std::uint32_t &value);
+    bool memWrite32(mem::Addr addr, std::uint32_t value);
+    bool memRead8(mem::Addr addr, std::uint8_t &value);
+    bool memWrite8(mem::Addr addr, std::uint8_t value);
+
+    sim::TimeCursor &cursor;
+    mem::MemoryMap &mem_;
+    energy::PowerSystem &power;
+    McuConfig cfg;
+    sim::Tick cyclePeriod_;
+
+    energy::PowerSystem::LoadHandle coreLoad;
+
+    std::array<std::uint32_t, isa::numRegs> regs{};
+    mem::Addr pc_ = 0;
+    isa::Flags flags_;
+    McuState state_ = McuState::Off;
+    McuFault fault_ = McuFault::None;
+    mem::Addr entry = 0x4000;
+    mem::Addr irqHandler = 0;
+
+    bool irqLine = false;
+    bool inIrq = false;
+    bool chkptEnabled = false;
+    /** Remaining cycles of a timed low-power wait (0 = awake). */
+    std::uint64_t sleepCycles = 0;
+
+    sim::EventId sliceEvent = sim::invalidEventId;
+    sim::EventId bootEvent = sim::invalidEventId;
+
+    ResetHook resetHook;
+    Tracer tracer;
+
+    std::uint64_t cycles = 0;
+    std::uint64_t instrs = 0;
+    std::uint64_t reboots = 0;
+    std::uint64_t faults = 0;
+    std::uint64_t checkpointsTaken = 0;
+    std::uint64_t checkpointsRestored = 0;
+};
+
+} // namespace edb::mcu
+
+#endif // EDB_MCU_MCU_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * MMIO register addresses of the simulated target MCU.
+ *
+ * The 0xF000-0xFFFF page is the peripheral page. Guest assembly
+ * (apps, libEDB) accesses these with `la` + `ldw`/`stw`.
+ */
+
+#ifndef EDB_MCU_MMIO_MAP_HH
+#define EDB_MCU_MMIO_MAP_HH
+
+#include <cstdint>
+
+namespace edb::mcu::mmio {
+
+constexpr std::uint32_t base = 0xF000;
+constexpr std::uint32_t size = 0x1000;
+
+// GPIO port (32 pins).
+constexpr std::uint32_t gpioOut = 0xF000;    ///< rw: output levels
+constexpr std::uint32_t gpioIn = 0xF004;     ///< r: input levels
+constexpr std::uint32_t gpioToggle = 0xF008; ///< w: xor into output
+
+// Console UART (the paper's "UART printf" instrumentation path).
+constexpr std::uint32_t uart0Tx = 0xF010;     ///< w: transmit byte
+constexpr std::uint32_t uart0Status = 0xF014; ///< r: bit0 txBusy, bit1 rxAvail
+constexpr std::uint32_t uart0Rx = 0xF018;     ///< r: pop received byte
+
+// I2C master (accelerometer et al.).
+constexpr std::uint32_t i2cAddr = 0xF020;   ///< w: 7-bit device address
+constexpr std::uint32_t i2cReg = 0xF024;    ///< w: device register
+constexpr std::uint32_t i2cData = 0xF028;   ///< rw: data byte
+constexpr std::uint32_t i2cCtrl = 0xF02C;   ///< w: 1=read, 2=write
+constexpr std::uint32_t i2cStatus = 0xF030; ///< r: bit0 busy, bit1 done
+
+// On-chip ADC (the self-measurement path the paper notes is costly).
+constexpr std::uint32_t adcCtrl = 0xF034;   ///< w: start, value=channel
+constexpr std::uint32_t adcStatus = 0xF038; ///< r: bit0 busy, bit1 done
+constexpr std::uint32_t adcValue = 0xF03C;  ///< r: 12-bit result
+
+// RF (RFID) front end.
+constexpr std::uint32_t rfRxStatus = 0xF040; ///< r: bit0 msg avail
+constexpr std::uint32_t rfRxLen = 0xF044;    ///< r: length of head msg
+constexpr std::uint32_t rfRxByte = 0xF048;   ///< r: pop payload byte
+constexpr std::uint32_t rfTxByte = 0xF04C;   ///< w: append to tx frame
+constexpr std::uint32_t rfTxCtrl = 0xF050;   ///< w: 1=transmit frame
+constexpr std::uint32_t rfTxStatus = 0xF054; ///< r: bit0 busy
+
+// EDB debug port (code markers, debug-request line, debug UART).
+constexpr std::uint32_t marker = 0xF060;        ///< w: pulse marker lines
+constexpr std::uint32_t dbgReq = 0xF064;        ///< rw: request line level
+constexpr std::uint32_t dbgUartTx = 0xF068;     ///< w: byte to debugger
+constexpr std::uint32_t dbgUartStatus = 0xF06C; ///< r: bit0 busy, bit1 avail
+constexpr std::uint32_t dbgUartRx = 0xF070;     ///< r: pop byte
+constexpr std::uint32_t bkptMask = 0xF074;      ///< r: passive bkpt bitmap
+
+// Misc.
+constexpr std::uint32_t led = 0xF080;     ///< rw: bit0 LED on
+constexpr std::uint32_t cycleLo = 0xF084; ///< r: cycle counter low 32
+constexpr std::uint32_t cycleHi = 0xF088; ///< r: cycle counter high 32
+constexpr std::uint32_t chkptCtl = 0xF090; ///< rw: bit0 enable restore
+/**
+ * Timed low-power wait: write N to suspend execution for N core
+ * cycles at the sleep current (Dewdrop-style duty cycling). A debug
+ * interrupt wakes the core early.
+ */
+constexpr std::uint32_t sleep = 0xF094;
+
+} // namespace edb::mcu::mmio
+
+#endif // EDB_MCU_MMIO_MAP_HH

@@ -1,0 +1,201 @@
+#include "mem/memory.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace edb::mem {
+
+std::uint32_t
+Region::read32(Addr addr)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(read8(addr + i)) << (8 * i);
+    return v;
+}
+
+void
+Region::write32(Addr addr, std::uint32_t value)
+{
+    for (int i = 0; i < 4; ++i)
+        write8(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+Ram::Ram(std::string region_name, Addr base_addr, Addr size_bytes,
+         RegionKind region_kind)
+    : Region(std::move(region_name), base_addr, size_bytes, region_kind),
+      store(size_bytes, 0)
+{
+    if (region_kind == RegionKind::Mmio)
+        sim::fatal("Ram: cannot be an MMIO region");
+}
+
+std::uint8_t
+Ram::read8(Addr addr)
+{
+    return store[addr - base()];
+}
+
+void
+Ram::write8(Addr addr, std::uint8_t value)
+{
+    store[addr - base()] = value;
+    ++writes;
+}
+
+void
+Ram::powerLoss()
+{
+    if (kind() == RegionKind::Sram)
+        std::fill(store.begin(), store.end(), std::uint8_t{0xCD});
+}
+
+void
+Ram::clear()
+{
+    std::fill(store.begin(), store.end(), std::uint8_t{0});
+}
+
+void
+Ram::load(Addr addr, const std::vector<std::uint8_t> &bytes_in)
+{
+    if (addr < base() || addr + bytes_in.size() > base() + size())
+        sim::fatal("Ram::load: image does not fit region ", name());
+    std::copy(bytes_in.begin(), bytes_in.end(),
+              store.begin() + (addr - base()));
+}
+
+MmioRegion::MmioRegion(std::string region_name, Addr base_addr,
+                       Addr size_bytes)
+    : Region(std::move(region_name), base_addr, size_bytes,
+             RegionKind::Mmio)
+{}
+
+void
+MmioRegion::addRegister(Addr addr, std::string reg_name, ReadFn read_fn,
+                        WriteFn write_fn)
+{
+    if (!contains(addr) || (addr & 3u))
+        sim::fatal("MmioRegion: bad register address for ", reg_name);
+    if (regs.count(addr))
+        sim::fatal("MmioRegion: register already present at address ",
+                   addr);
+    regs.emplace(addr,
+                 Reg{std::move(reg_name), std::move(read_fn),
+                     std::move(write_fn)});
+}
+
+bool
+MmioRegion::hasRegister(Addr addr) const
+{
+    return regs.count(addr) != 0;
+}
+
+std::uint32_t
+MmioRegion::read32(Addr addr)
+{
+    auto it = regs.find(addr);
+    if (it == regs.end() || !it->second.read)
+        return 0;
+    return it->second.read();
+}
+
+void
+MmioRegion::write32(Addr addr, std::uint32_t value)
+{
+    auto it = regs.find(addr);
+    if (it == regs.end() || !it->second.write)
+        return;
+    it->second.write(value);
+}
+
+std::uint8_t
+MmioRegion::read8(Addr addr)
+{
+    Addr word = addr & ~Addr{3};
+    return static_cast<std::uint8_t>(read32(word) >> (8 * (addr & 3u)));
+}
+
+void
+MmioRegion::write8(Addr addr, std::uint8_t value)
+{
+    // Byte writes to MMIO replicate the byte into the low lane; real
+    // hardware typically doesn't support sub-word peripheral writes
+    // either. Documented, deterministic behaviour for stray stores.
+    Addr word = addr & ~Addr{3};
+    write32(word, value);
+}
+
+void
+MemoryMap::addRegion(Region *region)
+{
+    if (!region)
+        sim::fatal("MemoryMap: null region");
+    for (const auto *existing : list) {
+        bool disjoint = region->base() + region->size() <=
+                            existing->base() ||
+                        existing->base() + existing->size() <=
+                            region->base();
+        if (!disjoint)
+            sim::fatal("MemoryMap: region ", region->name(),
+                       " overlaps ", existing->name());
+    }
+    list.push_back(region);
+}
+
+Region *
+MemoryMap::find(Addr addr) const
+{
+    for (auto *region : list) {
+        if (region->contains(addr))
+            return region;
+    }
+    return nullptr;
+}
+
+AccessResult
+MemoryMap::read8(Addr addr, std::uint8_t &value) const
+{
+    Region *r = find(addr);
+    if (!r)
+        return AccessResult::Unmapped;
+    value = r->read8(addr);
+    return AccessResult::Ok;
+}
+
+AccessResult
+MemoryMap::write8(Addr addr, std::uint8_t value) const
+{
+    Region *r = find(addr);
+    if (!r)
+        return AccessResult::Unmapped;
+    r->write8(addr, value);
+    return AccessResult::Ok;
+}
+
+AccessResult
+MemoryMap::read32(Addr addr, std::uint32_t &value) const
+{
+    if (addr & 3u)
+        return AccessResult::Misaligned;
+    Region *r = find(addr);
+    if (!r || !r->contains(addr + 3))
+        return AccessResult::Unmapped;
+    value = r->read32(addr);
+    return AccessResult::Ok;
+}
+
+AccessResult
+MemoryMap::write32(Addr addr, std::uint32_t value) const
+{
+    if (addr & 3u)
+        return AccessResult::Misaligned;
+    Region *r = find(addr);
+    if (!r || !r->contains(addr + 3))
+        return AccessResult::Unmapped;
+    r->write32(addr, value);
+    return AccessResult::Ok;
+}
+
+} // namespace edb::mem

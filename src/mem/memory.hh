@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Target memory system: volatile SRAM, non-volatile FRAM and the
+ * memory map that routes accesses.
+ *
+ * The volatile / non-volatile split is the crux of the intermittent
+ * execution model: "a reboot clears volatile state (e.g., register
+ * file, SRAM) [and] retains non-volatile state (e.g., FRAM)"
+ * (paper Section 1). Intermittence bugs are, at bottom, consistency
+ * violations in the FRAM image across reboots.
+ */
+
+#ifndef EDB_MEM_MEMORY_HH
+#define EDB_MEM_MEMORY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace edb::mem {
+
+/** Target address. The EH32 address space is 64 KiB. */
+using Addr = std::uint32_t;
+
+/** Classification used by the MCU to cost accesses. */
+enum class RegionKind : std::uint8_t { Sram, Fram, Mmio };
+
+/**
+ * Abstract address-space region.
+ */
+class Region
+{
+  public:
+    Region(std::string region_name, Addr base_addr, Addr size_bytes,
+           RegionKind region_kind)
+        : name_(std::move(region_name)), base_(base_addr),
+          size_(size_bytes), kind_(region_kind)
+    {}
+
+    virtual ~Region() = default;
+
+    const std::string &name() const { return name_; }
+    Addr base() const { return base_; }
+    Addr size() const { return size_; }
+    RegionKind kind() const { return kind_; }
+
+    /** True when `addr` falls inside this region. */
+    bool
+    contains(Addr addr) const
+    {
+        return addr >= base_ && addr < base_ + size_;
+    }
+
+    /** Byte read at an absolute address (must be contained). */
+    virtual std::uint8_t read8(Addr addr) = 0;
+    /** Byte write at an absolute address (must be contained). */
+    virtual void write8(Addr addr, std::uint8_t value) = 0;
+
+    /** Aligned 32-bit read; default composes byte reads (LE). */
+    virtual std::uint32_t read32(Addr addr);
+    /** Aligned 32-bit write; default composes byte writes (LE). */
+    virtual void write32(Addr addr, std::uint32_t value);
+
+  private:
+    std::string name_;
+    Addr base_;
+    Addr size_;
+    RegionKind kind_;
+};
+
+/**
+ * Flat byte-array region used for both SRAM (volatile) and FRAM
+ * (non-volatile). "Volatile" here controls what `Ram::powerLoss`
+ * does, which the MCU invokes on every reboot.
+ */
+class Ram : public Region
+{
+  public:
+    Ram(std::string region_name, Addr base_addr, Addr size_bytes,
+        RegionKind region_kind);
+
+    std::uint8_t read8(Addr addr) override;
+    void write8(Addr addr, std::uint8_t value) override;
+
+    /**
+     * React to a power loss: volatile regions are filled with a
+     * poison pattern (0xCD) so that software reading uninitialized
+     * SRAM after reboot misbehaves loudly, as real SRAM decay does
+     * unpredictably; non-volatile regions are untouched.
+     */
+    void powerLoss();
+
+    /** Fill with zero (flash-programming, test setup). */
+    void clear();
+
+    /** Bulk load starting at an absolute address. */
+    void load(Addr addr, const std::vector<std::uint8_t> &bytes);
+
+    /** Direct backing-store access for instruments/tests. */
+    std::vector<std::uint8_t> &bytes() { return store; }
+
+    /** Number of writes since construction (wear statistics). */
+    std::uint64_t writeCount() const { return writes; }
+
+  private:
+    std::vector<std::uint8_t> store;
+    std::uint64_t writes = 0;
+};
+
+/**
+ * Memory-mapped I/O region: 32-bit registers at word-aligned
+ * addresses, each with read/write handlers installed by peripherals.
+ */
+class MmioRegion : public Region
+{
+  public:
+    using ReadFn = std::function<std::uint32_t()>;
+    using WriteFn = std::function<void(std::uint32_t)>;
+
+    MmioRegion(std::string region_name, Addr base_addr, Addr size_bytes);
+
+    /**
+     * Install a register. Either handler may be null (reads of a
+     * write-only register return 0; writes to a read-only register
+     * are ignored).
+     */
+    void addRegister(Addr addr, std::string reg_name, ReadFn read_fn,
+                     WriteFn write_fn);
+
+    /** True when a register exists at `addr`. */
+    bool hasRegister(Addr addr) const;
+
+    std::uint8_t read8(Addr addr) override;
+    void write8(Addr addr, std::uint8_t value) override;
+    std::uint32_t read32(Addr addr) override;
+    void write32(Addr addr, std::uint32_t value) override;
+
+  private:
+    struct Reg
+    {
+        std::string name;
+        ReadFn read;
+        WriteFn write;
+    };
+
+    std::map<Addr, Reg> regs;
+};
+
+/** Outcome of a routed access. */
+enum class AccessResult : std::uint8_t
+{
+    Ok,
+    Unmapped,    ///< No region claims the address.
+    Misaligned,  ///< Word access not 4-byte aligned.
+};
+
+/**
+ * Routes target addresses to regions. Faulting accesses are reported
+ * to the caller (the MCU raises a fault, modelling the "undefined
+ * behavior" of a wild pointer write in paper Fig 3).
+ */
+class MemoryMap
+{
+  public:
+    /** Attach a region (non-owning); regions must not overlap. */
+    void addRegion(Region *region);
+
+    /** Region containing `addr`, or nullptr. */
+    Region *find(Addr addr) const;
+
+    /// @name Routed accesses
+    /// @{
+    AccessResult read8(Addr addr, std::uint8_t &value) const;
+    AccessResult write8(Addr addr, std::uint8_t value) const;
+    AccessResult read32(Addr addr, std::uint32_t &value) const;
+    AccessResult write32(Addr addr, std::uint32_t value) const;
+    /// @}
+
+    /** All attached regions. */
+    const std::vector<Region *> &regions() const { return list; }
+
+  private:
+    std::vector<Region *> list;
+};
+
+} // namespace edb::mem
+
+#endif // EDB_MEM_MEMORY_HH

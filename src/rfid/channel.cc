@@ -1,0 +1,70 @@
+#include "rfid/channel.hh"
+
+#include "rfid/frontend.hh"
+#include "rfid/reader.hh"
+
+namespace edb::rfid {
+
+RfChannel::RfChannel(sim::Simulator &simulator,
+                     std::string component_name, ChannelConfig config)
+    : sim::Component(simulator, std::move(component_name)), cfg(config)
+{}
+
+void
+RfChannel::addTap(Tap tap)
+{
+    taps.push_back(std::move(tap));
+}
+
+sim::Tick
+RfChannel::airTime(Direction direction, const Frame &frame) const
+{
+    double bps = direction == Direction::ReaderToTag ? cfg.downlinkBps
+                                                     : cfg.uplinkBps;
+    double seconds = static_cast<double>(frame.wireBytes()) * 8.0 / bps;
+    return sim::ticksFromSeconds(seconds);
+}
+
+void
+RfChannel::send(Direction direction, Frame frame, sim::Tick when)
+{
+    if (direction == Direction::ReaderToTag)
+        ++downFrames;
+    else
+        ++upFrames;
+    if (sim().rng().chance(cfg.corruptionProbability)) {
+        frame.corrupted = true;
+        ++corrupted;
+    }
+    sim::Tick done = when + airTime(direction, frame);
+    sim().schedule(done, [this, direction, frame = std::move(frame),
+                          done]() mutable {
+        deliver(direction, std::move(frame), done);
+    });
+}
+
+void
+RfChannel::deliver(Direction direction, Frame frame, sim::Tick when)
+{
+    // Wire taps see everything, including corrupted frames and
+    // frames the endpoint misses — EDB's external decoder hangs here.
+    for (const auto &tap : taps)
+        tap(direction, frame, when);
+    if (direction == Direction::ReaderToTag) {
+        // The tag's front end CRC-drops corrupted frames in hardware.
+        if (tag && !frame.corrupted)
+            tag->frameArrived(frame);
+    } else if (reader) {
+        // The reader sees corrupted replies as undecodable noise and
+        // counts them separately.
+        reader->frameArrived(frame, when);
+    }
+}
+
+std::uint64_t
+RfChannel::framesSent(Direction direction) const
+{
+    return direction == Direction::ReaderToTag ? downFrames : upFrames;
+}
+
+} // namespace edb::rfid

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * RF channel between an RFID reader and a tag front end.
+ *
+ * Frames take real on-air time and may be corrupted in flight. The
+ * channel exposes *wire taps*: listeners that see the demodulated
+ * bitstream regardless of whether the tag was powered to receive it.
+ * This is the electrical point where EDB attaches its external RFID
+ * decoder (paper Section 4.1.2: "messages can be decoded even if the
+ * target does not correctly decode them due to power failures").
+ */
+
+#ifndef EDB_RFID_CHANNEL_HH
+#define EDB_RFID_CHANNEL_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rfid/protocol.hh"
+#include "sim/simulator.hh"
+
+namespace edb::rfid {
+
+class RfFrontend;
+class RfidReader;
+
+/** Channel configuration. */
+struct ChannelConfig
+{
+    /** Reader-to-tag (forward link) bitrate. */
+    double downlinkBps = 40e3;
+    /** Tag-to-reader (backscatter) bitrate. */
+    double uplinkBps = 160e3;
+    /** Probability a frame is corrupted in flight. */
+    double corruptionProbability = 0.03;
+};
+
+/** Bidirectional message-level RF channel. */
+class RfChannel : public sim::Component
+{
+  public:
+    /** Wire tap: (direction, frame, completion time). */
+    using Tap =
+        std::function<void(Direction, const Frame &, sim::Tick)>;
+
+    RfChannel(sim::Simulator &simulator, std::string component_name,
+              ChannelConfig config = {});
+
+    /** Attach the tag-side front end (non-owning). */
+    void attachTag(RfFrontend *tag_frontend) { tag = tag_frontend; }
+
+    /** Attach the reader (non-owning). */
+    void attachReader(RfidReader *rfid_reader) { reader = rfid_reader; }
+
+    /** Attach a wire tap (EDB's RFID monitor). */
+    void addTap(Tap tap);
+
+    /**
+     * Transmit a frame. Delivery is scheduled after the on-air time;
+     * wire taps always fire, endpoint delivery depends on the
+     * receiver's state at completion.
+     * @param when Transmit start time (supports MCU local time).
+     */
+    void send(Direction direction, Frame frame, sim::Tick when);
+
+    /** On-air duration of a frame in the given direction. */
+    sim::Tick airTime(Direction direction, const Frame &frame) const;
+
+    const ChannelConfig &config() const { return cfg; }
+
+    /// @name Statistics
+    /// @{
+    std::uint64_t framesSent(Direction direction) const;
+    std::uint64_t framesCorrupted() const { return corrupted; }
+    /// @}
+
+  private:
+    void deliver(Direction direction, Frame frame, sim::Tick when);
+
+    ChannelConfig cfg;
+    RfFrontend *tag = nullptr;
+    RfidReader *reader = nullptr;
+    std::vector<Tap> taps;
+    std::uint64_t downFrames = 0;
+    std::uint64_t upFrames = 0;
+    std::uint64_t corrupted = 0;
+};
+
+} // namespace edb::rfid
+
+#endif // EDB_RFID_CHANNEL_HH

@@ -1,0 +1,17 @@
+#include "rfid/protocol.hh"
+
+namespace edb::rfid {
+
+const char *
+msgTypeName(MsgType type)
+{
+    switch (type) {
+      case MsgType::CmdQuery: return "CMD_QUERY";
+      case MsgType::CmdQueryRep: return "CMD_QUERYREP";
+      case MsgType::CmdAck: return "CMD_ACK";
+      case MsgType::RspGeneric: return "RSP_GENERIC";
+    }
+    return "UNKNOWN";
+}
+
+} // namespace edb::rfid

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Gen2-lite RFID protocol message definitions.
+ *
+ * A simplified EPC Gen2-style inventory protocol carrying exactly the
+ * message vocabulary visible in the paper's Figure 12 trace:
+ * CMD_QUERY / CMD_QUERYREP from the reader, RSP_GENERIC (the tag's
+ * identifier reply) from the tag.
+ */
+
+#ifndef EDB_RFID_PROTOCOL_HH
+#define EDB_RFID_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace edb::rfid {
+
+/** Message types on the air interface. */
+enum class MsgType : std::uint8_t
+{
+    CmdQuery = 0x01,    ///< Reader: start of an inventory round.
+    CmdQueryRep = 0x02, ///< Reader: repeat slot within a round.
+    CmdAck = 0x03,      ///< Reader: acknowledge a tag reply.
+    RspGeneric = 0x10,  ///< Tag: identifier reply.
+};
+
+/** Wire name of a message type (matches the paper's Fig 12 labels). */
+const char *msgTypeName(MsgType type);
+
+/** A framed message on the air interface. */
+struct Frame
+{
+    MsgType type = MsgType::CmdQuery;
+    std::vector<std::uint8_t> payload;
+    /** True when the channel corrupted the frame in flight. */
+    bool corrupted = false;
+
+    /** Bytes on the wire including the type byte. */
+    std::size_t wireBytes() const { return payload.size() + 1; }
+};
+
+/** Direction of travel on the air interface. */
+enum class Direction : std::uint8_t
+{
+    ReaderToTag, ///< The target's "RF Data - RX" line.
+    TagToReader, ///< The target's "RF Data - TX" line.
+};
+
+} // namespace edb::rfid
+
+#endif // EDB_RFID_PROTOCOL_HH

@@ -1,0 +1,63 @@
+#include "runtime/checkpoint.hh"
+
+#include <cmath>
+
+namespace edb::runtime {
+
+unsigned
+adcCodeForVolts(double volts, unsigned bits, double vref_volts)
+{
+    double full = static_cast<double>((1u << bits) - 1);
+    double code = volts / vref_volts * full;
+    if (code < 0.0)
+        code = 0.0;
+    if (code > full)
+        code = full;
+    return static_cast<unsigned>(std::lround(code));
+}
+
+std::string
+checkpointSource()
+{
+    // Note the cost structure the paper highlights: the conditional
+    // variant spends time and energy on an ADC conversion every call
+    // ("doing so uses energy, perturbing the energy state being
+    // measured"), plus the FRAM write burst when it checkpoints.
+    return R"(
+; ---------------------------------------------------------------
+; Checkpointing runtime (Mementos-style voltage-conditional +
+; QuickRecall-style hardware-assisted checkpoint)
+; ---------------------------------------------------------------
+
+; rt_checkpoint: take a checkpoint unconditionally. r0 = 1 on
+; success (hardware unit enabled and slot fit), 0 otherwise.
+rt_checkpoint:
+    chkpt
+    ret
+
+; rt_checkpoint_if_low: r1 = ADC threshold code. Samples Vcap on
+; ADC channel 0; checkpoints when the reading is at or below the
+; threshold. r0 = 1 if a checkpoint was taken.
+rt_checkpoint_if_low:
+    la   r0, ADC_CTRL
+    li   r2, 0                ; channel 0 = Vcap
+    stw  r2, [r0]
+    la   r0, ADC_STATUS
+__rt_ck_wait:
+    ldw  r2, [r0]
+    andi r2, r2, 2
+    cmpi r2, 0
+    beq  __rt_ck_wait
+    la   r0, ADC_VALUE
+    ldw  r2, [r0]
+    cmp  r2, r1
+    bgeu __rt_ck_skip         ; reading above threshold: no checkpoint
+    chkpt
+    ret
+__rt_ck_skip:
+    li   r0, 0
+    ret
+)";
+}
+
+} // namespace edb::runtime

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Mementos/QuickRecall-style checkpointing runtime (target side).
+ *
+ * The paper assumes "a checkpointing mechanism that periodically
+ * collects a checkpoint of volatile execution context (i.e., register
+ * file and stack) like prior work [11, 20, 24]" (Section 2). This
+ * runtime provides the target-side assembly: a voltage-conditional
+ * checkpoint (Mementos-style: measure Vcap with the on-chip ADC and
+ * checkpoint when it falls below a threshold) and an unconditional
+ * checkpoint, both built on the hardware checkpoint unit (QuickRecall
+ * style).
+ *
+ * Routines (same convention as libEDB: args r1.., r0-r4 scratch):
+ *
+ *   rt_checkpoint            unconditional checkpoint; r0 = success
+ *   rt_checkpoint_if_low     r1 = ADC threshold code; checkpoints
+ *                            only when Vcap reads at/below it.
+ *                            r0 = 1 if a checkpoint was taken.
+ */
+
+#ifndef EDB_RUNTIME_CHECKPOINT_HH
+#define EDB_RUNTIME_CHECKPOINT_HH
+
+#include <string>
+
+namespace edb::runtime {
+
+/** Assembly source of the checkpointing runtime. */
+std::string checkpointSource();
+
+/**
+ * ADC code corresponding to a capacitor voltage for the target's
+ * on-chip ADC (bits/vref must match the device's AdcConfig).
+ */
+unsigned adcCodeForVolts(double volts, unsigned bits = 12,
+                         double vref_volts = 3.0);
+
+} // namespace edb::runtime
+
+#endif // EDB_RUNTIME_CHECKPOINT_HH

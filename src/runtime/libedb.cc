@@ -1,0 +1,335 @@
+#include "runtime/libedb.hh"
+
+#include <sstream>
+
+#include "mcu/mmio_map.hh"
+#include "runtime/protocol_defs.hh"
+
+namespace edb::runtime {
+
+std::string
+mmioEquates()
+{
+    namespace m = mcu::mmio;
+    std::ostringstream s;
+    auto equ = [&s](const char *name, std::uint32_t value) {
+        s << ".equ " << name << ", " << value << "\n";
+    };
+    equ("GPIO_OUT", m::gpioOut);
+    equ("GPIO_IN", m::gpioIn);
+    equ("GPIO_TOGGLE", m::gpioToggle);
+    equ("UART0_TX", m::uart0Tx);
+    equ("UART0_STATUS", m::uart0Status);
+    equ("UART0_RX", m::uart0Rx);
+    equ("I2C_ADDR", m::i2cAddr);
+    equ("I2C_REG", m::i2cReg);
+    equ("I2C_DATA", m::i2cData);
+    equ("I2C_CTRL", m::i2cCtrl);
+    equ("I2C_STATUS", m::i2cStatus);
+    equ("ADC_CTRL", m::adcCtrl);
+    equ("ADC_STATUS", m::adcStatus);
+    equ("ADC_VALUE", m::adcValue);
+    equ("RF_RXST", m::rfRxStatus);
+    equ("RF_RXLEN", m::rfRxLen);
+    equ("RF_RXBYTE", m::rfRxByte);
+    equ("RF_TXBYTE", m::rfTxByte);
+    equ("RF_TXCTRL", m::rfTxCtrl);
+    equ("RF_TXST", m::rfTxStatus);
+    equ("MARKER", m::marker);
+    equ("DBGREQ", m::dbgReq);
+    equ("DBGUART_TX", m::dbgUartTx);
+    equ("DBGUART_STATUS", m::dbgUartStatus);
+    equ("DBGUART_RX", m::dbgUartRx);
+    equ("BKPTMASK", m::bkptMask);
+    equ("LED", m::led);
+    equ("CYCLE_LO", m::cycleLo);
+    equ("CYCLE_HI", m::cycleHi);
+    equ("CHKPT_CTL", m::chkptCtl);
+    equ("SLEEP", m::sleep);
+    equ("MSG_ASSERT", proto::msgAssertFail);
+    equ("MSG_BKPT", proto::msgBkptHit);
+    equ("MSG_GUARD_BEGIN", proto::msgGuardBegin);
+    equ("MSG_GUARD_END", proto::msgGuardEnd);
+    equ("MSG_PRINTF", proto::msgPrintf);
+    equ("ACK_ACTIVE", proto::ackActive);
+    equ("ACK_RESTORED", proto::ackRestored);
+    equ("CMD_READ", proto::cmdRead);
+    equ("CMD_WRITE", proto::cmdWrite);
+    equ("CMD_RESUME", proto::cmdResume);
+    return s.str();
+}
+
+std::string
+programHeader()
+{
+    return mmioEquates() + R"(
+.org 0x4000
+.entry main
+.irq edb_dbg_isr
+)";
+}
+
+std::string
+libedbSource()
+{
+    // The target-side half of the debugger protocol. r0-r4 scratch,
+    // r5+ preserved (edb_service_loop and edb_printf save what they
+    // use).
+    return R"(
+; ---------------------------------------------------------------
+; libEDB target-side runtime
+; ---------------------------------------------------------------
+
+; watch_point(id): encode the id onto the code-marker lines.
+; Cost: one store -- "holding a GPIO pin high for one cycle"
+; (paper section 4.1.3).
+edb_watchpoint:
+    la   r0, MARKER
+    stw  r1, [r0]
+    ret
+
+; __edb_tx: transmit r1 over the debug UART (busy-wait).
+__edb_tx:
+    la   r0, DBGUART_STATUS
+__edb_tx_wait:
+    ldw  r2, [r0]
+    andi r2, r2, 1
+    cmpi r2, 0
+    bne  __edb_tx_wait
+    la   r0, DBGUART_TX
+    stw  r1, [r0]
+    ret
+
+; __edb_rx: receive one byte from the debug UART into r0.
+__edb_rx:
+    la   r2, DBGUART_STATUS
+__edb_rx_wait:
+    ldw  r3, [r2]
+    andi r3, r3, 2
+    cmpi r3, 0
+    beq  __edb_rx_wait
+    la   r2, DBGUART_RX
+    ldw  r0, [r2]
+    ret
+
+; __edb_tx_word: transmit r1 as 4 little-endian bytes.
+__edb_tx_word:
+    push r5
+    mov  r5, r1
+    andi r1, r5, 0xFF
+    call __edb_tx
+    shri r1, r5, 8
+    andi r1, r1, 0xFF
+    call __edb_tx
+    shri r1, r5, 16
+    andi r1, r1, 0xFF
+    call __edb_tx
+    shri r1, r5, 24
+    call __edb_tx
+    pop  r5
+    ret
+
+; __edb_req_ack: raise the debug-request line and wait until the
+; debugger has saved the energy level and engaged tethered power.
+__edb_req_ack:
+    la   r0, DBGREQ
+    li   r4, 1
+    stw  r4, [r0]
+    call __edb_rx
+    ret
+
+; __edb_req_drop: release the debug-request line.
+__edb_req_drop:
+    la   r0, DBGREQ
+    li   r4, 0
+    stw  r4, [r0]
+    ret
+
+; edb_service_loop: interactive-session command servicing. The
+; debugger reads and writes the live target address space through
+; these commands (paper: "full access to view and modify the
+; target's memory").
+edb_service_loop:
+    push r5
+    push r6
+    push r7
+__edb_svc_next:
+    call __edb_rx
+    cmpi r0, CMD_RESUME
+    beq  __edb_svc_done
+    cmpi r0, CMD_READ
+    beq  __edb_svc_read
+    cmpi r0, CMD_WRITE
+    beq  __edb_svc_write
+    br   __edb_svc_next
+__edb_svc_done:
+    pop  r7
+    pop  r6
+    pop  r5
+    ret
+
+__edb_svc_addr:            ; read 4 bytes LE into r5
+    call __edb_rx
+    mov  r5, r0
+    call __edb_rx
+    shli r0, r0, 8
+    or   r5, r5, r0
+    call __edb_rx
+    shli r0, r0, 16
+    or   r5, r5, r0
+    call __edb_rx
+    shli r0, r0, 24
+    or   r5, r5, r0
+    ret
+
+__edb_svc_read:            ; addr(4), len(2); reply raw bytes
+    call __edb_svc_addr
+    call __edb_rx
+    mov  r6, r0
+    call __edb_rx
+    shli r0, r0, 8
+    or   r6, r6, r0
+__edb_svc_read_loop:
+    cmpi r6, 0
+    beq  __edb_svc_next
+    ldb  r1, [r5]
+    call __edb_tx
+    addi r5, r5, 1
+    addi r6, r6, -1
+    br   __edb_svc_read_loop
+
+__edb_svc_write:           ; addr(4), value(4)
+    call __edb_svc_addr
+    mov  r7, r5
+    call __edb_svc_addr
+    stw  r5, [r7]
+    br   __edb_svc_next
+
+; assert(expr) failure path: keep-alive -- the debugger tethers the
+; target before it can brown out, then opens an interactive session
+; (paper section 3.3.2).
+edb_assert_fail:           ; r1 = assert id
+    push r1
+    call __edb_req_ack
+    li   r1, MSG_ASSERT
+    call __edb_tx
+    pop  r1
+    push r1
+    andi r1, r1, 0xFF
+    call __edb_tx
+    pop  r1
+    shri r1, r1, 8
+    andi r1, r1, 0xFF
+    call __edb_tx
+    call edb_service_loop
+    call __edb_req_drop
+    ret
+
+; break_point(id): fires only when the debugger has enabled this id
+; in the passive breakpoint bitmap.
+edb_breakpoint:            ; r1 = breakpoint id
+    la   r0, BKPTMASK
+    ldw  r0, [r0]
+    mov  r2, r1
+    shr  r0, r0, r2
+    andi r0, r0, 1
+    cmpi r0, 0
+    beq  __edb_bkpt_skip
+    push r1
+    call __edb_req_ack
+    li   r1, MSG_BKPT
+    call __edb_tx
+    pop  r1
+    push r1
+    andi r1, r1, 0xFF
+    call __edb_tx
+    pop  r1
+    shri r1, r1, 8
+    andi r1, r1, 0xFF
+    call __edb_tx
+    call edb_service_loop
+    call __edb_req_drop
+    ret
+__edb_bkpt_skip:
+    ret
+
+; energy_guard(begin): record + tether; code until the matching end
+; runs on tethered power (paper section 3.3.3).
+edb_energy_guard_begin:
+    call __edb_req_ack
+    li   r1, MSG_GUARD_BEGIN
+    call __edb_tx
+    ret
+
+; energy_guard(end): debugger discharges the capacitor back to the
+; recorded level before releasing the target.
+edb_energy_guard_end:
+    li   r1, MSG_GUARD_END
+    call __edb_tx
+    call __edb_rx
+    call __edb_req_drop
+    ret
+
+; printf(fmt, ...): ship the format string and argument words to the
+; debugger inside an implicit energy guard; the host formats.
+edb_printf:                ; r1 = fmt, r2 = nargs, r3 = argv
+    push r5
+    push r6
+    push r7
+    mov  r5, r1
+    mov  r6, r2
+    mov  r7, r3
+    call __edb_req_ack
+    li   r1, MSG_PRINTF
+    call __edb_tx
+    mov  r1, r6
+    call __edb_tx
+__edb_pf_args:
+    cmpi r6, 0
+    beq  __edb_pf_str
+    ldw  r1, [r7]
+    call __edb_tx_word
+    addi r7, r7, 4
+    addi r6, r6, -1
+    br   __edb_pf_args
+__edb_pf_str:
+    ldb  r1, [r5]
+    call __edb_tx
+    ldb  r0, [r5]
+    addi r5, r5, 1
+    cmpi r0, 0
+    bne  __edb_pf_str
+    call __edb_rx
+    call __edb_req_drop
+    pop  r7
+    pop  r6
+    pop  r5
+    ret
+
+; Debug interrupt entry: the debugger raised the interrupt line
+; (energy breakpoint or host break-in). Report and service.
+edb_dbg_isr:
+    push r0
+    push r1
+    push r2
+    push r3
+    push r4
+    call __edb_req_ack
+    li   r1, MSG_BKPT
+    call __edb_tx
+    li   r1, 0xFF
+    call __edb_tx
+    li   r1, 0xFF
+    call __edb_tx
+    call edb_service_loop
+    call __edb_req_drop
+    pop  r4
+    pop  r3
+    pop  r2
+    pop  r1
+    pop  r0
+    reti
+)";
+}
+
+} // namespace edb::runtime

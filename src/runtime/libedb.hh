@@ -1,0 +1,51 @@
+/**
+ * @file
+ * libEDB: the target-side runtime library, as EH32 assembly.
+ *
+ * The real system statically links ~1200 lines of C into the target
+ * application (paper Section 4.2, Table 1). Here the same interface
+ * is provided as assembly routines that guest applications link by
+ * concatenating `libedbSource()` into their program text.
+ *
+ * Exported routines (calling convention: args in r1..r3, result in
+ * r0; r0-r4 are caller-saved scratch, r5+ preserved):
+ *
+ *   edb_watchpoint         r1 = id          watch_point(id)
+ *   edb_assert_fail        r1 = id          assert() failure path
+ *   edb_breakpoint         r1 = id          break_point(id)
+ *   edb_energy_guard_begin                  energy_guard(begin)
+ *   edb_energy_guard_end                    energy_guard(end)
+ *   edb_printf             r1 = fmt addr,   printf(fmt, ...)
+ *                          r2 = nargs,
+ *                          r3 = argv addr
+ *   edb_dbg_isr            (interrupt vector for energy breakpoints)
+ */
+
+#ifndef EDB_RUNTIME_LIBEDB_HH
+#define EDB_RUNTIME_LIBEDB_HH
+
+#include <string>
+
+namespace edb::runtime {
+
+/**
+ * `.equ` definitions for the MMIO register map and protocol bytes.
+ * Include once at the top of any guest program.
+ */
+std::string mmioEquates();
+
+/**
+ * The libEDB routine bodies. Append after the application code
+ * (routines are position-assembled wherever they land).
+ */
+std::string libedbSource();
+
+/**
+ * Convenience: equates + a standard program prologue that jumps to
+ * `main`. The caller supplies `main` and appends `libedbSource()`.
+ */
+std::string programHeader();
+
+} // namespace edb::runtime
+
+#endif // EDB_RUNTIME_LIBEDB_HH

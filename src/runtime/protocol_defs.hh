@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Wire protocol between the target-side libEDB runtime and the EDB
+ * board, over the dedicated GPIO request line + debug UART
+ * (paper Section 4.2: "the library implements the target-side half
+ * of the protocol for communicating with the debugger over a
+ * dedicated GPIO line and a UART link").
+ *
+ * These byte values are shared between the C++ debugger firmware
+ * (src/edb) and the generated target assembly (src/runtime), which
+ * emits them as .equ constants.
+ */
+
+#ifndef EDB_RUNTIME_PROTOCOL_DEFS_HH
+#define EDB_RUNTIME_PROTOCOL_DEFS_HH
+
+#include <cstdint>
+
+namespace edb::runtime::proto {
+
+/// @name Target -> debugger frame types
+/// @{
+constexpr std::uint8_t msgAssertFail = 0x01; ///< + id lo, id hi
+constexpr std::uint8_t msgBkptHit = 0x02;    ///< + id lo, id hi
+constexpr std::uint8_t msgGuardBegin = 0x03;
+constexpr std::uint8_t msgGuardEnd = 0x04;
+constexpr std::uint8_t msgPrintf = 0x05; ///< + nargs, args, fmt..NUL
+/// @}
+
+/// @name Debugger -> target bytes
+/// @{
+constexpr std::uint8_t ackActive = 0xA0;  ///< Tether engaged; proceed.
+constexpr std::uint8_t ackRestored = 0xA1; ///< Energy restored; go.
+constexpr std::uint8_t cmdRead = 0x81;  ///< + addr(4 LE), len(2 LE)
+constexpr std::uint8_t cmdWrite = 0x82; ///< + addr(4 LE), value(4 LE)
+constexpr std::uint8_t cmdResume = 0x83;
+/// @}
+
+/** Breakpoint id reported by the energy-breakpoint IRQ handler. */
+constexpr std::uint16_t energyBkptId = 0xFFFF;
+
+} // namespace edb::runtime::proto
+
+#endif // EDB_RUNTIME_PROTOCOL_DEFS_HH

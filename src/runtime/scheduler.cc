@@ -1,0 +1,52 @@
+#include "runtime/scheduler.hh"
+
+#include <sstream>
+
+namespace edb::runtime {
+
+std::string
+dewdropSource(unsigned sleep_cycles)
+{
+    std::ostringstream s;
+    s << ".equ DW_SLEEP_CYCLES, " << sleep_cycles << "\n";
+    s << R"(
+; ---------------------------------------------------------------
+; Dewdrop-style energy-aware scheduling runtime
+; ---------------------------------------------------------------
+
+; dw_wait_energy: r1 = ADC code the capacitor must reach before the
+; caller's task is dispatched. Sleeps (uA-level draw) between
+; measurements instead of busy-waiting (mA-level draw), so waiting
+; does not consume the charge being waited for.
+; Returns r0 = sleep periods taken.
+dw_wait_energy:
+    push r5
+    li   r5, 0                 ; sleep-period counter
+__dw_check:
+    la   r0, ADC_CTRL
+    li   r2, 0                 ; channel 0 = Vcap
+    stw  r2, [r0]
+    la   r0, ADC_STATUS
+__dw_adc_wait:
+    ldw  r2, [r0]
+    andi r2, r2, 2
+    cmpi r2, 0
+    beq  __dw_adc_wait
+    la   r0, ADC_VALUE
+    ldw  r2, [r0]
+    cmp  r2, r1
+    bgeu __dw_ready            ; enough energy: dispatch
+    la   r0, SLEEP             ; timed low-power wait
+    la   r2, DW_SLEEP_CYCLES
+    stw  r2, [r0]
+    addi r5, r5, 1
+    br   __dw_check
+__dw_ready:
+    mov  r0, r5
+    pop  r5
+    ret
+)";
+    return s.str();
+}
+
+} // namespace edb::runtime

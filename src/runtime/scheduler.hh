@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Dewdrop-style energy-aware task scheduling runtime (target side).
+ *
+ * The paper's related work (Section 6.2): "Dewdrop [4] is a scheduler
+ * that brings an RF-harvesting device into and out of deep sleep
+ * states that consume little energy. Dewdrop schedules tasks based on
+ * the likelihood that they will successfully execute, given the
+ * available energy."
+ *
+ * This runtime provides the core mechanism: before dispatching a
+ * task, measure the stored energy with the on-chip ADC and, if it is
+ * below the task's threshold, enter a timed low-power wait instead
+ * of burning the remaining charge polling. Thresholds are exactly
+ * what EDB's watchpoint energy profile (paper Section 5.3.3) lets a
+ * developer calibrate.
+ *
+ * Routines (libEDB conventions: args r1.., r0-r4 scratch):
+ *
+ *   dw_wait_energy    r1 = ADC threshold code; returns only once
+ *                     Vcap reads at/above it, sleeping in low-power
+ *                     chunks between measurements. r0 = number of
+ *                     sleep periods taken.
+ */
+
+#ifndef EDB_RUNTIME_SCHEDULER_HH
+#define EDB_RUNTIME_SCHEDULER_HH
+
+#include <string>
+
+namespace edb::runtime {
+
+/**
+ * Assembly source of the energy-aware scheduling runtime.
+ * @param sleep_cycles Core cycles per low-power wait chunk
+ *        (default 20000 = 5 ms at 4 MHz).
+ */
+std::string dewdropSource(unsigned sleep_cycles = 20000);
+
+} // namespace edb::runtime
+
+#endif // EDB_RUNTIME_SCHEDULER_HH

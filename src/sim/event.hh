@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Discrete-event queue for the simulator.
+ *
+ * Events are closures scheduled at an absolute tick. Ties are broken by
+ * insertion order so a run is deterministic. Scheduling returns an
+ * `EventId` which may be used to cancel the event (cancellation is
+ * lazy: the slot is marked dead and skipped when popped).
+ */
+
+#ifndef EDB_SIM_EVENT_HH
+#define EDB_SIM_EVENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace edb::sim {
+
+/** Handle identifying a scheduled event for cancellation. */
+using EventId = std::uint64_t;
+
+/** Reserved id meaning "no event". */
+constexpr EventId invalidEventId = 0;
+
+/**
+ * Min-heap of timestamped closures. Deterministic: equal-tick events
+ * fire in the order they were scheduled.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule `cb` to fire at absolute time `when`. */
+    EventId
+    schedule(Tick when, Callback cb)
+    {
+        EventId id = ++nextId;
+        heap.push(Entry{when, id, std::move(cb)});
+        ++liveCount;
+        return id;
+    }
+
+    /**
+     * Cancel a previously scheduled event. Safe to call with an id
+     * that already fired (returns false in that case).
+     */
+    bool
+    cancel(EventId id)
+    {
+        if (id == invalidEventId)
+            return false;
+        auto [it, inserted] = cancelled.insert(id);
+        (void)it;
+        if (inserted && liveCount > 0)
+            --liveCount;
+        return inserted;
+    }
+
+    /** True when no live (non-cancelled) events remain. */
+    bool empty() const { return liveCount == 0; }
+
+    /** Number of live events. */
+    std::size_t size() const { return liveCount; }
+
+    /**
+     * Time of the earliest live event, or `maxTick` when empty.
+     * Prunes cancelled entries from the top of the heap.
+     */
+    Tick
+    nextTime()
+    {
+        prune();
+        return heap.empty() ? maxTick : heap.top().when;
+    }
+
+    /**
+     * Pop the earliest live event without running it, so the caller
+     * can update its clock before invoking the callback.
+     * @return false when the queue was empty.
+     */
+    bool
+    popNext(Tick &when, Callback &cb)
+    {
+        prune();
+        if (heap.empty())
+            return false;
+        // Move the callback out before any invocation: callbacks may
+        // schedule events, mutating the heap.
+        when = heap.top().when;
+        cb = std::move(const_cast<Entry &>(heap.top()).cb);
+        heap.pop();
+        if (liveCount > 0)
+            --liveCount;
+        return true;
+    }
+
+    /**
+     * Pop and run the earliest live event.
+     * @param now Receives the event's timestamp (set before the
+     *        callback runs).
+     * @return false when the queue was empty.
+     */
+    bool
+    runOne(Tick &now)
+    {
+        Callback cb;
+        if (!popNext(now, cb))
+            return false;
+        cb();
+        return true;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        EventId id;
+        Callback cb;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return id > other.id;
+        }
+    };
+
+    /** Discard cancelled entries sitting at the top of the heap. */
+    void
+    prune()
+    {
+        while (!heap.empty() && cancelled.count(heap.top().id)) {
+            cancelled.erase(heap.top().id);
+            heap.pop();
+        }
+    }
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    std::unordered_set<EventId> cancelled;
+    EventId nextId = invalidEventId;
+    std::size_t liveCount = 0;
+};
+
+} // namespace edb::sim
+
+#endif // EDB_SIM_EVENT_HH

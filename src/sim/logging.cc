@@ -1,0 +1,33 @@
+#include "sim/logging.hh"
+
+namespace edb::sim {
+
+namespace {
+LogLevel globalLevel = LogLevel::Warn;
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+namespace detail {
+
+void
+emit(LogLevel level, const std::string &tag, const std::string &msg)
+{
+    if (level > globalLevel && tag != "panic")
+        return;
+    std::fprintf(stderr, "[%s] %s\n", tag.c_str(), msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace edb::sim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Leveled logging and fatal-error helpers for the simulator.
+ *
+ * Follows the gem5 convention: `panic` is for internal simulator bugs
+ * (aborts), `fatal` is for user/configuration errors (throws so tests
+ * can assert on it), `warn`/`inform` are advisory console output.
+ */
+
+#ifndef EDB_SIM_LOGGING_HH
+#define EDB_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace edb::sim {
+
+/** Severity levels for simulation logging. */
+enum class LogLevel { Silent = 0, Warn = 1, Inform = 2, Debug = 3 };
+
+/** Global log verbosity. Defaults to Warn; tests may silence it. */
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+/** Error thrown by `fatal` — a user-correctable configuration error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+namespace detail {
+
+void emit(LogLevel level, const std::string &tag, const std::string &msg);
+
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Report a user/configuration error; throws FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::format(std::forward<Args>(args)...));
+}
+
+/** Report an internal simulator bug; aborts the process. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emit(LogLevel::Silent, "panic",
+                 detail::format(std::forward<Args>(args)...));
+    std::abort();
+}
+
+/** Advisory warning (printed at LogLevel::Warn and above). */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emit(LogLevel::Warn, "warn",
+                 detail::format(std::forward<Args>(args)...));
+}
+
+/** Informational message (printed at LogLevel::Inform and above). */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emit(LogLevel::Inform, "info",
+                 detail::format(std::forward<Args>(args)...));
+}
+
+/** Debug-level message (printed at LogLevel::Debug). */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    detail::emit(LogLevel::Debug, "debug",
+                 detail::format(std::forward<Args>(args)...));
+}
+
+} // namespace edb::sim
+
+#endif // EDB_SIM_LOGGING_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic random number generation for simulations.
+ *
+ * Every stochastic model in the simulator (ADC noise, RF channel
+ * corruption, sensor traces) draws from one `Rng` owned by the
+ * `Simulator`, so a run is fully reproducible from its seed.
+ */
+
+#ifndef EDB_SIM_RNG_HH
+#define EDB_SIM_RNG_HH
+
+#include <cstdint>
+#include <random>
+
+namespace edb::sim {
+
+/**
+ * Thin wrapper around a 64-bit Mersenne twister with convenience
+ * samplers used throughout the analog and channel models.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1) : engine(seed) {}
+
+    /** Re-seed the generator (resets the stream). */
+    void seed(std::uint64_t s) { engine.seed(s); }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(engine);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine);
+    }
+
+    /** Zero-mean Gaussian with the given standard deviation. */
+    double
+    gaussian(double sigma)
+    {
+        if (sigma <= 0.0)
+            return 0.0;
+        return std::normal_distribution<double>(0.0, sigma)(engine);
+    }
+
+    /** Bernoulli trial: true with probability p. */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniform() < p;
+    }
+
+    /** Access to the raw engine for std distributions. */
+    std::mt19937_64 &raw() { return engine; }
+
+  private:
+    std::mt19937_64 engine;
+};
+
+} // namespace edb::sim
+
+#endif // EDB_SIM_RNG_HH

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Top-level simulation driver.
+ *
+ * A `Simulator` owns the event queue, the global clock and the
+ * deterministic RNG. Components register themselves so the simulator
+ * can enumerate them for diagnostics; ownership of components stays
+ * with the caller (typically a device assembly such as `target::Wisp`
+ * or `edbdbg::EdbBoard`).
+ */
+
+#ifndef EDB_SIM_SIMULATOR_HH
+#define EDB_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/event.hh"
+#include "sim/rng.hh"
+#include "sim/time.hh"
+
+namespace edb::sim {
+
+class Component;
+
+/**
+ * Event-driven simulation kernel.
+ *
+ * Time only advances inside `run*` calls, driven by the event queue.
+ * Long-running components (the MCU interpreter) run in bounded slices
+ * and re-schedule themselves, so other events interleave correctly.
+ */
+class Simulator
+{
+  public:
+    explicit Simulator(std::uint64_t seed = 1) : rngState(seed) {}
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return currentTick; }
+
+    /** Deterministic RNG shared by all stochastic models. */
+    Rng &rng() { return rngState; }
+
+    /** Schedule a callback at an absolute time (must be >= now). */
+    EventId
+    schedule(Tick when, EventQueue::Callback cb)
+    {
+        return events.schedule(when < currentTick ? currentTick : when,
+                               std::move(cb));
+    }
+
+    /** Schedule a callback `delay` ticks in the future. */
+    EventId
+    scheduleIn(Tick delay, EventQueue::Callback cb)
+    {
+        return schedule(currentTick + (delay < 0 ? 0 : delay),
+                        std::move(cb));
+    }
+
+    /** Cancel a scheduled event. */
+    bool cancel(EventId id) { return events.cancel(id); }
+
+    /** Time of the next pending event (maxTick when idle). */
+    Tick nextEventTime() { return events.nextTime(); }
+
+    /**
+     * Run until the event queue drains or `until` is reached,
+     * whichever comes first. Events exactly at `until` do fire.
+     * @return the simulated time after the run.
+     */
+    Tick
+    runUntil(Tick until)
+    {
+        stopping = false;
+        while (!stopping) {
+            Tick next = events.nextTime();
+            if (next > until) {
+                if (until > currentTick)
+                    currentTick = until;
+                break;
+            }
+            EventQueue::Callback cb;
+            Tick when = currentTick;
+            if (!events.popNext(when, cb)) {
+                if (until > currentTick)
+                    currentTick = until;
+                break;
+            }
+            // The clock advances before the callback runs, so
+            // now() is exact inside event handlers.
+            currentTick = when;
+            cb();
+        }
+        return currentTick;
+    }
+
+    /** Run for a relative duration. */
+    Tick runFor(Tick duration) { return runUntil(currentTick + duration); }
+
+    /** Run until the event queue is exhausted. */
+    Tick
+    runToCompletion()
+    {
+        stopping = false;
+        while (!stopping && !events.empty()) {
+            EventQueue::Callback cb;
+            Tick when = currentTick;
+            if (!events.popNext(when, cb))
+                break;
+            currentTick = when;
+            cb();
+        }
+        return currentTick;
+    }
+
+    /** Request that the current `run*` call return after this event. */
+    void stop() { stopping = true; }
+
+    /** Register a component for enumeration (non-owning). */
+    void addComponent(Component *component)
+    {
+        componentList.push_back(component);
+    }
+
+    /** All registered components (non-owning). */
+    const std::vector<Component *> &components() const
+    {
+        return componentList;
+    }
+
+  private:
+    EventQueue events;
+    Tick currentTick = 0;
+    bool stopping = false;
+    Rng rngState;
+    std::vector<Component *> componentList;
+};
+
+/**
+ * Base class for named simulation components.
+ *
+ * Provides the back-pointer to the owning simulator and a
+ * hierarchical name used in logs and traces.
+ */
+class Component
+{
+  public:
+    Component(Simulator &simulator, std::string component_name)
+        : sim_(simulator), name_(std::move(component_name))
+    {
+        sim_.addComponent(this);
+    }
+
+    virtual ~Component() = default;
+
+    Component(const Component &) = delete;
+    Component &operator=(const Component &) = delete;
+
+    /** Component instance name. */
+    const std::string &name() const { return name_; }
+
+    /** Owning simulator. */
+    Simulator &sim() { return sim_; }
+    const Simulator &sim() const { return sim_; }
+
+    /** Current simulated time (convenience). */
+    Tick now() const { return sim_.now(); }
+
+  private:
+    Simulator &sim_;
+    std::string name_;
+};
+
+} // namespace edb::sim
+
+#endif // EDB_SIM_SIMULATOR_HH

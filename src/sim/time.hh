@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Simulation time base.
+ *
+ * All simulated time is kept as an integral number of picoseconds in a
+ * 64-bit signed counter (`Tick`). A picosecond base keeps every clock
+ * used in the system integral (the 4 MHz MCU cycle is 250'000 ticks, a
+ * 115200 baud UART bit is 8'680'555 ticks with < 1 ppm error) while
+ * still covering +/- 106 days of simulated time.
+ */
+
+#ifndef EDB_SIM_TIME_HH
+#define EDB_SIM_TIME_HH
+
+#include <cstdint>
+
+namespace edb::sim {
+
+/** Simulated time in picoseconds. */
+using Tick = std::int64_t;
+
+/** Ticks per common time units. */
+constexpr Tick onePs = 1;
+constexpr Tick oneNs = 1'000;
+constexpr Tick oneUs = 1'000'000;
+constexpr Tick oneMs = 1'000'000'000;
+constexpr Tick oneSec = 1'000'000'000'000;
+
+/** Convert a floating point duration in seconds to ticks (rounded). */
+constexpr Tick
+ticksFromSeconds(double seconds)
+{
+    return static_cast<Tick>(seconds * static_cast<double>(oneSec) + 0.5);
+}
+
+/** Convert ticks to a floating point duration in seconds. */
+constexpr double
+secondsFromTicks(Tick ticks)
+{
+    return static_cast<double>(ticks) / static_cast<double>(oneSec);
+}
+
+/** Convert ticks to a floating point duration in milliseconds. */
+constexpr double
+millisFromTicks(Tick ticks)
+{
+    return static_cast<double>(ticks) / static_cast<double>(oneMs);
+}
+
+/** Convert ticks to a floating point duration in microseconds. */
+constexpr double
+microsFromTicks(Tick ticks)
+{
+    return static_cast<double>(ticks) / static_cast<double>(oneUs);
+}
+
+/** A tick value that compares later than any schedulable event. */
+constexpr Tick maxTick = INT64_MAX;
+
+} // namespace edb::sim
+
+#endif // EDB_SIM_TIME_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Local-time cursor for components that execute ahead of the event
+ * clock.
+ *
+ * The MCU interpreter runs bounded slices of instructions inside one
+ * event callback, advancing a local clock while `Simulator::now()`
+ * stays at the slice start. Peripherals poked by those instructions
+ * must timestamp their side effects (UART byte completion, ADC
+ * conversion done) against the *local* clock, so they consult the
+ * shared `TimeCursor` instead of `Simulator::now()`.
+ */
+
+#ifndef EDB_SIM_TIME_CURSOR_HH
+#define EDB_SIM_TIME_CURSOR_HH
+
+#include <algorithm>
+
+#include "sim/simulator.hh"
+#include "sim/time.hh"
+
+namespace edb::sim {
+
+/** Tracks max(event clock, executing component's local clock). */
+class TimeCursor
+{
+  public:
+    explicit TimeCursor(Simulator &simulator) : sim_(simulator) {}
+
+    /** Best-known current time. */
+    Tick
+    now() const
+    {
+        return std::max(sim_.now(), local);
+    }
+
+    /** Advance the local clock (monotonic; lower values ignored). */
+    void
+    advance(Tick t)
+    {
+        local = std::max(local, t);
+    }
+
+    /** Schedule a callback `delay` after the cursor's current time. */
+    EventId
+    scheduleIn(Tick delay, EventQueue::Callback cb)
+    {
+        return sim_.schedule(now() + (delay < 0 ? 0 : delay),
+                             std::move(cb));
+    }
+
+    Simulator &simulator() { return sim_; }
+
+  private:
+    Simulator &sim_;
+    Tick local = 0;
+};
+
+} // namespace edb::sim
+
+#endif // EDB_SIM_TIME_CURSOR_HH

@@ -1,0 +1,56 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+
+namespace edb::trace {
+
+const char *
+kindName(Kind kind)
+{
+    switch (kind) {
+      case Kind::EnergySample: return "energy";
+      case Kind::Watchpoint: return "watchpoint";
+      case Kind::IoByte: return "io";
+      case Kind::RfidMessage: return "rfid";
+      case Kind::Printf: return "printf";
+      case Kind::AssertFail: return "assert";
+      case Kind::Breakpoint: return "breakpoint";
+      case Kind::EnergyGuard: return "energy_guard";
+      case Kind::PowerEvent: return "power";
+      case Kind::Generic: return "note";
+    }
+    return "unknown";
+}
+
+std::vector<Record>
+TraceBuffer::ofKind(Kind kind) const
+{
+    std::vector<Record> out;
+    std::copy_if(records.begin(), records.end(), std::back_inserter(out),
+                 [kind](const Record &r) { return r.kind == kind; });
+    return out;
+}
+
+std::size_t
+TraceBuffer::countOf(Kind kind) const
+{
+    return static_cast<std::size_t>(
+        std::count_if(records.begin(), records.end(),
+                      [kind](const Record &r) { return r.kind == kind; }));
+}
+
+void
+TraceBuffer::writeCsv(std::ostream &os) const
+{
+    os << "time_ms,kind,id,a,b,text\n";
+    for (const auto &r : records) {
+        std::string text = r.text;
+        std::replace(text.begin(), text.end(), ',', ';');
+        std::replace(text.begin(), text.end(), '\n', ' ');
+        os << sim::millisFromTicks(r.when) << ',' << kindName(r.kind)
+           << ',' << r.id << ',' << r.a << ',' << r.b << ',' << text
+           << '\n';
+    }
+}
+
+} // namespace edb::trace

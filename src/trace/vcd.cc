@@ -1,0 +1,104 @@
+#include "trace/vcd.hh"
+
+#include "sim/logging.hh"
+
+namespace edb::trace {
+
+VcdWriter::VcdWriter(std::ostream &os_in, unsigned timescale_ns)
+    : os(os_in), timescaleNs(timescale_ns)
+{
+    if (timescale_ns == 0)
+        sim::fatal("VcdWriter: timescale must be > 0");
+}
+
+std::string
+VcdWriter::idFor(std::size_t index) const
+{
+    // Printable short identifiers: !, ", #, ... then two chars.
+    std::string id;
+    do {
+        id.push_back(static_cast<char>('!' + index % 94));
+        index /= 94;
+    } while (index > 0);
+    return id;
+}
+
+std::size_t
+VcdWriter::addReal(const std::string &signal_name)
+{
+    if (headerWritten)
+        sim::fatal("VcdWriter: declarations must precede changes");
+    signals.push_back({signal_name, idFor(signals.size()), true});
+    return signals.size() - 1;
+}
+
+std::size_t
+VcdWriter::addWire(const std::string &signal_name)
+{
+    if (headerWritten)
+        sim::fatal("VcdWriter: declarations must precede changes");
+    signals.push_back({signal_name, idFor(signals.size()), false});
+    return signals.size() - 1;
+}
+
+void
+VcdWriter::writeHeaderIfNeeded()
+{
+    if (headerWritten)
+        return;
+    headerWritten = true;
+    os << "$timescale " << timescaleNs << " ns $end\n";
+    os << "$scope module edb $end\n";
+    for (const auto &signal : signals) {
+        if (signal.isReal) {
+            os << "$var real 64 " << signal.id << ' ' << signal.name
+               << " $end\n";
+        } else {
+            os << "$var wire 1 " << signal.id << ' ' << signal.name
+               << " $end\n";
+        }
+    }
+    os << "$upscope $end\n$enddefinitions $end\n";
+}
+
+void
+VcdWriter::advanceTo(sim::Tick when)
+{
+    writeHeaderIfNeeded();
+    sim::Tick units =
+        when / (static_cast<sim::Tick>(timescaleNs) * sim::oneNs);
+    if (units != lastTime) {
+        if (units < lastTime)
+            sim::fatal("VcdWriter: time went backwards");
+        os << '#' << units << '\n';
+        lastTime = units;
+    }
+}
+
+void
+VcdWriter::changeReal(std::size_t handle, sim::Tick when, double value)
+{
+    const Signal &signal = signals.at(handle);
+    if (!signal.isReal)
+        sim::fatal("VcdWriter: ", signal.name, " is not real");
+    advanceTo(when);
+    os << 'r' << value << ' ' << signal.id << '\n';
+}
+
+void
+VcdWriter::changeWire(std::size_t handle, sim::Tick when, bool value)
+{
+    const Signal &signal = signals.at(handle);
+    if (signal.isReal)
+        sim::fatal("VcdWriter: ", signal.name, " is not a wire");
+    advanceTo(when);
+    os << (value ? '1' : '0') << signal.id << '\n';
+}
+
+void
+VcdWriter::finish(sim::Tick end_time)
+{
+    advanceTo(end_time);
+}
+
+} // namespace edb::trace

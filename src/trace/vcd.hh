@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Value-change-dump (VCD) export of captured waveforms.
+ *
+ * Lets the oscilloscope captures and EDB trace streams be inspected
+ * in standard waveform viewers (GTKWave et al.) — the ergonomic
+ * equivalent of the mixed-signal scope screenshots in the paper's
+ * Figures 7, 9 and 12.
+ *
+ * Analog channels are emitted as IEEE-1364 `real` variables, digital
+ * channels as 1-bit wires.
+ */
+
+#ifndef EDB_TRACE_VCD_HH
+#define EDB_TRACE_VCD_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace edb::trace {
+
+/** Streaming VCD writer. */
+class VcdWriter
+{
+  public:
+    /**
+     * @param os Output stream (kept by reference; must outlive the
+     *        writer).
+     * @param timescale_ns Nanoseconds per VCD time unit.
+     */
+    explicit VcdWriter(std::ostream &os, unsigned timescale_ns = 1000);
+
+    /// @name Declaration phase (before the first change)
+    /// @{
+    /** Declare a real-valued (analog) signal; returns its handle. */
+    std::size_t addReal(const std::string &signal_name);
+    /** Declare a 1-bit (digital) signal; returns its handle. */
+    std::size_t addWire(const std::string &signal_name);
+    /// @}
+
+    /// @name Dump phase
+    /// @{
+    /** Record a real value at `when` (times must be monotonic). */
+    void changeReal(std::size_t handle, sim::Tick when, double value);
+    /** Record a bit value at `when`. */
+    void changeWire(std::size_t handle, sim::Tick when, bool value);
+    /** Flush the final timestamp marker. */
+    void finish(sim::Tick end_time);
+    /// @}
+
+  private:
+    struct Signal
+    {
+        std::string name;
+        std::string id;
+        bool isReal;
+    };
+
+    void writeHeaderIfNeeded();
+    void advanceTo(sim::Tick when);
+    std::string idFor(std::size_t index) const;
+
+    std::ostream &os;
+    unsigned timescaleNs;
+    std::vector<Signal> signals;
+    bool headerWritten = false;
+    sim::Tick lastTime = -1;
+};
+
+} // namespace edb::trace
+
+#endif // EDB_TRACE_VCD_HH

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests of the Table 1 debug console: command grammar, error
+ * handling, and end-to-end command effects.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/linked_list.hh"
+#include "console/console.hh"
+#include "energy/harvester.hh"
+#include "isa/assembler.hh"
+#include "runtime/libedb.hh"
+#include "sim/simulator.hh"
+#include "target/wisp.hh"
+
+using namespace edb;
+
+namespace {
+
+struct ConsoleRig
+{
+    sim::Simulator sim{101};
+    energy::TheveninHarvester supply{3.0, 2000.0};
+    target::Wisp wisp;
+    edbdbg::EdbBoard board;
+    console::Console con;
+
+    ConsoleRig()
+        : wisp(sim, "wisp", &supply, nullptr),
+          board(sim, "edb", wisp),
+          con(board)
+    {}
+
+    void
+    bootSpin()
+    {
+        wisp.flash(isa::assemble(runtime::programHeader() +
+                                 "main:\n    br main\n" +
+                                 runtime::libedbSource()));
+        wisp.start();
+        board.pumpUntil(
+            [this] {
+                return wisp.state() == mcu::McuState::Running;
+            },
+            2 * sim::oneSec);
+    }
+};
+
+TEST(Console, EmptyAndUnknownCommands)
+{
+    ConsoleRig rig;
+    EXPECT_EQ(rig.con.execute(""), "");
+    EXPECT_NE(rig.con.execute("frobnicate").find("unknown command"),
+              std::string::npos);
+}
+
+TEST(Console, HelpListsTableOneGrammar)
+{
+    ConsoleRig rig;
+    std::string help = rig.con.execute("help");
+    for (const char *cmd : {"charge", "discharge", "break", "watch",
+                            "trace", "read", "write", "resume"}) {
+        EXPECT_NE(help.find(cmd), std::string::npos) << cmd;
+    }
+}
+
+TEST(Console, StatusReportsTargetState)
+{
+    ConsoleRig rig;
+    std::string status = rig.con.execute("status");
+    EXPECT_NE(status.find("target: off"), std::string::npos);
+    rig.bootSpin();
+    status = rig.con.execute("status");
+    EXPECT_NE(status.find("target: running"), std::string::npos);
+}
+
+TEST(Console, ChargeDischargeCommands)
+{
+    ConsoleRig rig;
+    rig.bootSpin();
+    std::string out = rig.con.execute("discharge 2.0");
+    EXPECT_NE(out.find("ok"), std::string::npos);
+    EXPECT_NEAR(rig.wisp.power().voltage(), 2.0, 0.05);
+    out = rig.con.execute("charge 2.5");
+    EXPECT_NE(out.find("ok"), std::string::npos);
+    EXPECT_NEAR(rig.wisp.power().voltage(), 2.5, 0.05);
+    EXPECT_NE(rig.con.execute("charge").find("usage"),
+              std::string::npos);
+    EXPECT_NE(rig.con.execute("charge lots").find("error"),
+              std::string::npos);
+}
+
+TEST(Console, BreakCommandGrammar)
+{
+    ConsoleRig rig;
+    EXPECT_NE(rig.con.execute("break en 3").find("code breakpoint"),
+              std::string::npos);
+    EXPECT_NE(
+        rig.con.execute("break en 4 2.1").find("combined breakpoint"),
+        std::string::npos);
+    EXPECT_NE(rig.con.execute("break dis 3").find("disabled"),
+              std::string::npos);
+    EXPECT_NE(rig.con.execute("break en energy 2.0")
+                  .find("energy breakpoint"),
+              std::string::npos);
+    EXPECT_NE(rig.con.execute("break dis energy").find("disabled"),
+              std::string::npos);
+    EXPECT_NE(rig.con.execute("break en 99").find("error"),
+              std::string::npos);
+    EXPECT_NE(rig.con.execute("break").find("usage"),
+              std::string::npos);
+}
+
+TEST(Console, BreakEnableSetsTargetMask)
+{
+    ConsoleRig rig;
+    rig.con.execute("break en 5");
+    EXPECT_EQ(rig.wisp.debugPort().breakpointMask(), 1u << 5);
+    rig.con.execute("break dis 5");
+    EXPECT_EQ(rig.wisp.debugPort().breakpointMask(), 0u);
+}
+
+TEST(Console, WatchAndTraceCommands)
+{
+    ConsoleRig rig;
+    EXPECT_NE(rig.con.execute("watch en 2").find("enabled"),
+              std::string::npos);
+    EXPECT_TRUE(rig.board.watchpointEnabled(2));
+    EXPECT_NE(rig.con.execute("watch dis 2").find("disabled"),
+              std::string::npos);
+    EXPECT_FALSE(rig.board.watchpointEnabled(2));
+    EXPECT_NE(rig.con.execute("trace energy").find("trace energy on"),
+              std::string::npos);
+    EXPECT_TRUE(rig.board.streams().energy);
+    EXPECT_NE(
+        rig.con.execute("trace energy off").find("trace energy off"),
+        std::string::npos);
+    EXPECT_FALSE(rig.board.streams().energy);
+    EXPECT_NE(rig.con.execute("trace bogus").find("unknown stream"),
+              std::string::npos);
+}
+
+TEST(Console, ReadWriteRequireSession)
+{
+    ConsoleRig rig;
+    EXPECT_NE(rig.con.execute("read 0x5000 4").find("no open"),
+              std::string::npos);
+    EXPECT_NE(rig.con.execute("write 0x5000 1").find("no open"),
+              std::string::npos);
+    EXPECT_NE(rig.con.execute("resume").find("no open"),
+              std::string::npos);
+}
+
+TEST(Console, InteractiveSessionReadWriteResume)
+{
+    ConsoleRig rig;
+    rig.bootSpin();
+    // Pre-load a known value the console will read back.
+    rig.wisp.mcu().debugWrite32(0x5000, 0x04030201);
+    std::string out = rig.con.execute("break-in");
+    EXPECT_NE(out.find("session: manual"), std::string::npos);
+    out = rig.con.execute("read 0x5000 4");
+    EXPECT_NE(out.find("01 02 03 04"), std::string::npos);
+    EXPECT_EQ(rig.con.execute("write 0x5004 0xAA"), "ok");
+    EXPECT_EQ(rig.wisp.mcu().debugRead32(0x5004), 0xAAu);
+    EXPECT_EQ(rig.con.execute("resume"), "resumed");
+    EXPECT_TRUE(rig.board.waitPassive(sim::oneSec));
+}
+
+TEST(Console, VcapReportsVoltage)
+{
+    ConsoleRig rig;
+    rig.bootSpin();
+    std::string out = rig.con.execute("vcap");
+    EXPECT_NE(out.find("Vcap = "), std::string::npos);
+}
+
+} // namespace

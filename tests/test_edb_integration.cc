@@ -1,0 +1,421 @@
+/**
+ * @file
+ * End-to-end tests of the EDB debugging primitives against guest
+ * programs running on the simulated WISP.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/activity.hh"
+#include "apps/linked_list.hh"
+#include "edb/board.hh"
+#include "energy/harvester.hh"
+#include "isa/assembler.hh"
+#include "mcu/mmio_map.hh"
+#include "runtime/libedb.hh"
+#include "sim/simulator.hh"
+#include "target/wisp.hh"
+
+using namespace edb;
+
+namespace {
+
+/** Target + EDB on a bench supply (no intermittence). */
+struct BenchRig
+{
+    sim::Simulator sim{11};
+    energy::TheveninHarvester supply{3.0, 200.0};
+    target::Wisp wisp;
+    edbdbg::EdbBoard board;
+
+    BenchRig()
+        : wisp(sim, "wisp", &supply, nullptr),
+          board(sim, "edb", wisp)
+    {}
+
+    void
+    run(const std::string &body)
+    {
+        wisp.flash(isa::assemble(runtime::programHeader() + body +
+                                 runtime::libedbSource()));
+        wisp.start();
+    }
+};
+
+/** Target + EDB on harvested (intermittent) power. */
+struct HarvestRig
+{
+    sim::Simulator sim{23};
+    energy::RfHarvester rf{30.0, 1.0};
+    target::Wisp wisp;
+    edbdbg::EdbBoard board;
+
+    HarvestRig()
+        : wisp(sim, "wisp", &rf, nullptr), board(sim, "edb", wisp)
+    {}
+};
+
+TEST(EdbIntegration, AssertOpensSessionAndKeepsTargetAlive)
+{
+    BenchRig rig;
+    rig.run(R"(
+main:
+    la   r0, 0x5000
+    li   r1, 77
+    stw  r1, [r0]
+    li   r1, 9              ; assert id
+    call edb_assert_fail
+    la   r0, 0x5004         ; after resume, leave a marker
+    li   r1, 88
+    stw  r1, [r0]
+    halt
+)");
+    ASSERT_TRUE(rig.board.waitForSession(sim::oneSec));
+    auto *session = rig.board.session();
+    ASSERT_NE(session, nullptr);
+    EXPECT_EQ(session->reason(), edbdbg::SessionReason::AssertFail);
+    EXPECT_EQ(session->id(), 9u);
+    EXPECT_TRUE(rig.board.tethered());
+
+    // Inspect live target memory through the protocol.
+    auto value = session->read32(0x5000);
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, 77u);
+
+    // Patch memory, resume, and verify the target continued.
+    EXPECT_TRUE(session->write32(0x5008, 0xDEAD));
+    session->resume();
+    EXPECT_FALSE(session->open());
+    rig.board.pumpUntil(
+        [&] { return rig.wisp.state() == mcu::McuState::Halted; },
+        sim::oneSec);
+    EXPECT_EQ(rig.wisp.mcu().debugRead32(0x5004), 88u);
+    EXPECT_EQ(rig.wisp.mcu().debugRead32(0x5008), 0xDEADu);
+    EXPECT_FALSE(rig.board.tethered());
+    EXPECT_EQ(rig.board.assertCount(), 1u);
+}
+
+TEST(EdbIntegration, EnergyGuardRestoresLevel)
+{
+    HarvestRig rig;
+    rig.wisp.flash(isa::assemble(runtime::programHeader() + R"(
+main:
+    call edb_energy_guard_begin
+    ; burn an outrageous amount of energy: ~200k cycles of work
+    la   r2, 200000
+__burn:
+    addi r2, r2, -1
+    cmpi r2, 0
+    bne  __burn
+    call edb_energy_guard_end
+    la   r0, 0x5000          ; completion marker
+    li   r1, 1
+    stw  r1, [r0]
+    halt
+)" + runtime::libedbSource()));
+    rig.wisp.start();
+    // Let it boot and run through the guard.
+    rig.board.pumpUntil(
+        [&] { return rig.wisp.state() == mcu::McuState::Halted; },
+        10 * sim::oneSec);
+    EXPECT_EQ(rig.wisp.mcu().debugRead32(0x5000), 1u);
+    EXPECT_EQ(rig.board.guardCount(), 1u);
+    // The guarded region cost ~50 ms of active execution -- far more
+    // than one charge cycle -- yet the restored level is within the
+    // control loop's stop margin of the saved level.
+    double saved = rig.board.lastSavedVolts();
+    double restored = rig.board.lastRestoredVolts();
+    EXPECT_GT(saved, 1.8);
+    EXPECT_NEAR(restored, saved, 0.09);
+    EXPECT_FALSE(rig.board.tethered());
+}
+
+TEST(EdbIntegration, PrintfFormatsOnHost)
+{
+    BenchRig rig;
+    std::vector<std::string> lines;
+    rig.board.setPrintfSink(
+        [&lines](const std::string &s) { lines.push_back(s); });
+    rig.run(R"(
+main:
+    la   r2, 0x5100          ; argv
+    li   r1, 42
+    stw  r1, [r2]
+    li   r1, -7
+    stw  r1, [r2 + 4]
+    la   r1, fmt
+    li   r2, 2
+    la   r3, 0x5100
+    call edb_printf
+    halt
+fmt: .asciz "v=%u s=%d!"
+.align
+)");
+    rig.board.pumpUntil(
+        [&] { return rig.wisp.state() == mcu::McuState::Halted; },
+        sim::oneSec);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], "v=42 s=-7!");
+    EXPECT_EQ(rig.board.printfCount(), 1u);
+}
+
+TEST(EdbIntegration, CodeBreakpointOnlyFiresWhenEnabled)
+{
+    BenchRig rig;
+    rig.run(R"(
+main:
+    la   r5, 0x5000
+    li   r6, 0
+loop:
+    addi r6, r6, 1
+    stw  r6, [r5]
+    li   r1, 3               ; breakpoint id 3
+    call edb_breakpoint
+    cmpi r6, 1000
+    blt  loop
+    halt
+)");
+    // Not enabled: program runs to completion without stopping.
+    EXPECT_FALSE(rig.board.waitForSession(100 * sim::oneMs));
+    EXPECT_EQ(rig.board.breakpointCount(), 0u);
+
+    // Re-flash and enable: first iteration should stop.
+    BenchRig rig2;
+    rig2.run(R"(
+main:
+    la   r5, 0x5000
+    li   r6, 0
+loop:
+    addi r6, r6, 1
+    stw  r6, [r5]
+    li   r1, 3
+    call edb_breakpoint
+    cmpi r6, 1000
+    blt  loop
+    halt
+)");
+    rig2.board.enableCodeBreakpoint(3);
+    ASSERT_TRUE(rig2.board.waitForSession(sim::oneSec));
+    EXPECT_EQ(rig2.board.session()->reason(),
+              edbdbg::SessionReason::CodeBreakpoint);
+    EXPECT_EQ(rig2.board.session()->id(), 3u);
+    auto iter = rig2.board.session()->read32(0x5000);
+    ASSERT_TRUE(iter.has_value());
+    EXPECT_EQ(*iter, 1u);
+    rig2.board.session()->resume();
+    EXPECT_TRUE(rig2.board.waitPassive(sim::oneSec));
+}
+
+TEST(EdbIntegration, EnergyBreakpointTriggersNearThreshold)
+{
+    HarvestRig rig;
+    rig.wisp.flash(apps::buildLinkedListApp());
+    rig.wisp.start();
+    rig.board.enableEnergyBreakpoint(2.0);
+    ASSERT_TRUE(rig.board.waitForSession(5 * sim::oneSec));
+    EXPECT_EQ(rig.board.session()->reason(),
+              edbdbg::SessionReason::EnergyBreakpoint);
+    // The saved level is near the threshold (one sample period of
+    // slack plus ADC noise).
+    EXPECT_NEAR(rig.board.session()->savedVolts(), 2.0, 0.05);
+    rig.board.session()->resume();
+    EXPECT_TRUE(rig.board.waitPassive(sim::oneSec));
+}
+
+TEST(EdbIntegration, ManualBreakInAndChargeDischarge)
+{
+    BenchRig rig;
+    rig.run(R"(
+main:
+    br   main
+)");
+    rig.board.pumpUntil(
+        [&] { return rig.wisp.state() == mcu::McuState::Running; },
+        sim::oneSec);
+    ASSERT_TRUE(rig.board.breakIn());
+    EXPECT_EQ(rig.board.session()->reason(),
+              edbdbg::SessionReason::Manual);
+    rig.board.session()->resume();
+    ASSERT_TRUE(rig.board.waitPassive(sim::oneSec));
+}
+
+TEST(EdbIntegration, ChargeDischargeEmulatesIntermittence)
+{
+    // A weak ambient source, so the charge/discharge circuit can
+    // overpower it in both directions.
+    sim::Simulator simulator{31};
+    energy::TheveninHarvester weak{3.0, 2000.0};
+    target::Wisp wisp(simulator, "wisp", &weak, nullptr);
+    edbdbg::EdbBoard board(simulator, "edb", wisp);
+    wisp.flash(isa::assemble(runtime::programHeader() + R"(
+main:
+    br   main
+)" + runtime::libedbSource()));
+    wisp.start();
+    board.pumpUntil(
+        [&] { return wisp.state() == mcu::McuState::Running; },
+        2 * sim::oneSec);
+
+    // Manual energy manipulation: emulate a charge-discharge cycle
+    // (Table 1: charge|discharge <energy level>).
+    EXPECT_TRUE(board.dischargeTo(2.0));
+    EXPECT_NEAR(wisp.power().voltage(), 2.0, 0.03);
+    EXPECT_TRUE(board.chargeTo(2.5));
+    EXPECT_NEAR(wisp.power().voltage(), 2.5, 0.03);
+}
+
+TEST(EdbIntegration, WatchpointsCaptureEnergyCorrelatedEvents)
+{
+    BenchRig rig;
+    rig.board.setStream("watchpoints", true);
+    rig.run(R"(
+main:
+    li   r5, 5
+loop:
+    li   r1, 2
+    call edb_watchpoint
+    addi r5, r5, -1
+    cmpi r5, 0
+    bne  loop
+    halt
+)");
+    rig.board.pumpUntil(
+        [&] { return rig.wisp.state() == mcu::McuState::Halted; },
+        sim::oneSec);
+    auto events =
+        rig.board.traceBuffer().ofKind(trace::Kind::Watchpoint);
+    ASSERT_EQ(events.size(), 5u);
+    for (const auto &e : events) {
+        EXPECT_EQ(e.id, 2u);
+        EXPECT_GT(e.a, 1.0); // paired energy reading
+    }
+}
+
+} // namespace
+
+namespace {
+
+/** Session memory reads across sizes and regions. */
+class SessionRead : public ::testing::TestWithParam<std::uint16_t>
+{};
+
+TEST_P(SessionRead, LengthSweepRoundTrips)
+{
+    std::uint16_t len = GetParam();
+    BenchRig rig;
+    rig.run(R"(
+main:
+    ; fill 0x5000.. with a recognizable pattern
+    la   r5, 0x5000
+    li   r6, 0
+__fill:
+    stb  r6, [r5]
+    addi r5, r5, 1
+    addi r6, r6, 1
+    cmpi r6, 160
+    blt  __fill
+    li   r1, 4
+    call edb_assert_fail
+    halt
+)");
+    ASSERT_TRUE(rig.board.waitForSession(sim::oneSec));
+    auto bytes = rig.board.session()->readBytes(0x5000, len,
+                                                2 * sim::oneSec);
+    ASSERT_TRUE(bytes.has_value());
+    ASSERT_EQ(bytes->size(), len);
+    for (std::uint16_t i = 0; i < len; ++i)
+        EXPECT_EQ((*bytes)[i], i & 0xFF) << "offset " << i;
+    rig.board.session()->resume();
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, SessionRead,
+                         ::testing::Values<std::uint16_t>(1, 2, 3, 4,
+                                                          16, 64,
+                                                          160));
+
+TEST(EdbSession, ReadSramAndMmioThroughProtocol)
+{
+    BenchRig rig;
+    rig.run(R"(
+main:
+    la   r5, 0x2000        ; SRAM
+    la   r6, 0xBEEF
+    stw  r6, [r5]
+    la   r0, GPIO_OUT      ; drive a known MMIO value
+    li   r1, 5
+    stw  r1, [r0]
+    li   r1, 7
+    call edb_assert_fail
+    halt
+)");
+    ASSERT_TRUE(rig.board.waitForSession(sim::oneSec));
+    auto sram = rig.board.session()->read32(0x2000);
+    ASSERT_TRUE(sram.has_value());
+    EXPECT_EQ(*sram, 0xBEEFu);
+    // MMIO reads go through the target's own load path too.
+    auto gpio = rig.board.session()->read32(mcu::mmio::gpioOut);
+    ASSERT_TRUE(gpio.has_value());
+    EXPECT_EQ(*gpio, 5u);
+    rig.board.session()->resume();
+}
+
+TEST(EdbSession, WritePatchAltersSubsequentExecution)
+{
+    BenchRig rig;
+    rig.run(R"(
+main:
+    li   r1, 6
+    call edb_assert_fail
+    ; after resume: branch on a flag EDB patched in
+    la   r0, 0x5000
+    ldw  r1, [r0]
+    cmpi r1, 0x77
+    bne  __untouched
+    la   r0, 0x5004
+    li   r1, 1
+    stw  r1, [r0]
+__untouched:
+    halt
+)");
+    ASSERT_TRUE(rig.board.waitForSession(sim::oneSec));
+    ASSERT_TRUE(rig.board.session()->write32(0x5000, 0x77));
+    rig.board.session()->resume();
+    rig.board.pumpUntil(
+        [&] { return rig.wisp.state() == mcu::McuState::Halted; },
+        sim::oneSec);
+    EXPECT_EQ(rig.wisp.mcu().debugRead32(0x5004), 1u);
+}
+
+TEST(EdbSession, BackToBackPrintfsAllArrive)
+{
+    // Regression for the episode-queueing path: a new debug request
+    // raised while the previous restore is still in flight must be
+    // serviced, not dropped.
+    BenchRig rig;
+    int count = 0;
+    rig.board.setPrintfSink(
+        [&count](const std::string &) { ++count; });
+    rig.run(R"(
+main:
+    li   r5, 8
+__again:
+    la   r1, fmt
+    li   r2, 0
+    li   r3, 0
+    call edb_printf
+    addi r5, r5, -1
+    cmpi r5, 0
+    bne  __again
+    halt
+fmt: .asciz "tick"
+.align
+)");
+    rig.board.pumpUntil(
+        [&] { return rig.wisp.state() == mcu::McuState::Halted; },
+        5 * sim::oneSec);
+    EXPECT_EQ(count, 8);
+    EXPECT_EQ(rig.board.printfCount(), 8u);
+    EXPECT_TRUE(rig.board.passive());
+}
+
+} // namespace

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Unit and property tests for the analog energy substrate:
+ * capacitor, harvesters, power system integration, comparator
+ * hysteresis, charge conservation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "energy/capacitor.hh"
+#include "sim/logging.hh"
+#include "energy/harvester.hh"
+#include "energy/power_system.hh"
+#include "energy/supply.hh"
+#include "sim/simulator.hh"
+
+using namespace edb;
+using namespace edb::energy;
+
+namespace {
+
+PowerSystemConfig
+quietConfig()
+{
+    PowerSystemConfig config;
+    config.harvestNoiseSigma = 0.0; // deterministic analog tests
+    return config;
+}
+
+TEST(Capacitor, ChargeToVoltage)
+{
+    Capacitor cap(47e-6);
+    EXPECT_DOUBLE_EQ(cap.voltage(), 0.0);
+    cap.addCharge(47e-6 * 2.0); // Q = C*V
+    EXPECT_NEAR(cap.voltage(), 2.0, 1e-12);
+}
+
+TEST(Capacitor, NeverGoesNegative)
+{
+    Capacitor cap(47e-6, 1.0);
+    cap.addCharge(-1.0);
+    EXPECT_DOUBLE_EQ(cap.voltage(), 0.0);
+    cap.setVoltage(-2.0);
+    EXPECT_DOUBLE_EQ(cap.voltage(), 0.0);
+}
+
+TEST(Capacitor, EnergyFormula)
+{
+    Capacitor cap(47e-6, 2.4);
+    EXPECT_NEAR(cap.energy(), 0.5 * 47e-6 * 2.4 * 2.4, 1e-12);
+    EXPECT_NEAR(cap.energyAt(1.8), 0.5 * 47e-6 * 1.8 * 1.8, 1e-12);
+}
+
+TEST(Harvester, TheveninCurrentLaw)
+{
+    TheveninHarvester h(3.0, 1000.0);
+    EXPECT_NEAR(h.currentInto(1.0, 0.0), 2.0e-3, 1e-12);
+    EXPECT_NEAR(h.currentInto(3.0, 0.0), 0.0, 1e-12);
+    // Keeper diode: no back-flow above Voc.
+    EXPECT_DOUBLE_EQ(h.currentInto(4.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.openCircuitVoltage(0.0), 3.0);
+}
+
+TEST(Harvester, TheveninRejectsBadResistance)
+{
+    EXPECT_THROW(TheveninHarvester(3.0, 0.0), sim::FatalError);
+}
+
+TEST(Harvester, RfPowerFallsWithDistanceSquared)
+{
+    RfHarvester near(30.0, 0.5);
+    RfHarvester far(30.0, 1.0);
+    // Same voltage: 4x the current at half the distance.
+    double i_near = near.currentInto(1.0, 0.0);
+    double i_far = far.currentInto(1.0, 0.0);
+    EXPECT_NEAR(i_near / i_far, 4.0, 1e-9);
+    EXPECT_NEAR(far.sourceResistance() / near.sourceResistance(), 4.0,
+                1e-9);
+}
+
+TEST(Harvester, RfTxPowerScales)
+{
+    RfHarvester strong(30.0, 1.0);
+    RfHarvester weak(27.0, 1.0); // -3 dB = half power
+    EXPECT_NEAR(weak.sourceResistance() / strong.sourceResistance(),
+                2.0, 0.01);
+}
+
+TEST(Harvester, RfCarrierGating)
+{
+    RfHarvester h(30.0, 1.0);
+    EXPECT_GT(h.currentInto(1.0, 0.0), 0.0);
+    h.setCarrierOn(false);
+    EXPECT_DOUBLE_EQ(h.currentInto(1.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.openCircuitVoltage(0.0), 0.0);
+}
+
+TEST(Harvester, RfRejectsBadDistance)
+{
+    EXPECT_THROW(RfHarvester(30.0, 0.0), sim::FatalError);
+    RfHarvester h(30.0, 1.0);
+    EXPECT_THROW(h.setDistance(-1.0), sim::FatalError);
+}
+
+TEST(Harvester, ProfileInterpolatesAndHolds)
+{
+    ProfileHarvester h({{0.0, 2.0, 1000.0}, {10.0, 4.0, 1000.0}});
+    EXPECT_NEAR(h.openCircuitVoltage(0.0), 2.0, 1e-12);
+    EXPECT_NEAR(h.openCircuitVoltage(5.0), 3.0, 1e-12);
+    EXPECT_NEAR(h.openCircuitVoltage(10.0), 4.0, 1e-12);
+    EXPECT_NEAR(h.openCircuitVoltage(100.0), 4.0, 1e-12); // hold
+    EXPECT_NEAR(h.currentInto(1.0, 5.0), 2.0e-3, 1e-12);
+}
+
+TEST(Harvester, ProfileRejectsEmpty)
+{
+    EXPECT_THROW(ProfileHarvester({}), sim::FatalError);
+}
+
+TEST(Supply, CurrentIsSignedAndGated)
+{
+    VoltageSupply supply(3.0, 100.0);
+    EXPECT_DOUBLE_EQ(supply.currentInto(2.0), 0.0); // disabled
+    supply.setEnabled(true);
+    EXPECT_NEAR(supply.currentInto(2.0), 0.01, 1e-12);
+    EXPECT_NEAR(supply.currentInto(3.5), -0.005, 1e-12);
+    supply.setVoltage(2.0);
+    EXPECT_NEAR(supply.currentInto(2.0), 0.0, 1e-12);
+}
+
+TEST(PowerSystem, MatchesAnalyticRcCharge)
+{
+    // No load: V(t) = Voc (1 - e^{-t/RC}).
+    sim::Simulator simulator;
+    TheveninHarvester h(3.0, 1000.0);
+    auto config = quietConfig();
+    config.offLeakageAmps = 0.0;
+    config.turnOnVolts = 10.0; // never turns on: pure RC
+    config.brownOutVolts = 9.0;
+    PowerSystem power(simulator, "power", config, &h);
+    power.start();
+    double rc = 1000.0 * config.capacitanceF; // 47 ms
+    simulator.runFor(sim::ticksFromSeconds(rc));
+    EXPECT_NEAR(power.voltage(), 3.0 * (1.0 - std::exp(-1.0)), 0.01);
+    simulator.runFor(sim::ticksFromSeconds(4.0 * rc));
+    EXPECT_NEAR(power.voltage(), 3.0 * (1.0 - std::exp(-5.0)), 0.01);
+}
+
+TEST(PowerSystem, ComparatorHysteresis)
+{
+    sim::Simulator simulator;
+    TheveninHarvester h(3.0, 1000.0);
+    auto config = quietConfig();
+    PowerSystem power(simulator, "power", config, &h);
+    int transitions = 0;
+    bool last_state = false;
+    power.addPowerListener([&](bool on) {
+        ++transitions;
+        last_state = on;
+    });
+    // A load big enough to discharge once on.
+    auto load = power.addLoad("load", 2.0e-3, false);
+    power.start();
+    simulator.runFor(sim::oneSec);
+    EXPECT_TRUE(power.poweredOn());
+    EXPECT_EQ(transitions, 1);
+    EXPECT_TRUE(last_state);
+    EXPECT_EQ(power.bootCount(), 1u);
+
+    power.setLoadEnabled(load, true);
+    simulator.runFor(sim::oneSec);
+    // Thevenin at 3 V / 1 kOhm supplies up to 1.2 mA at 1.8 V, which
+    // is less than 2 mA: brown-out must occur, then with the load
+    // gone below brown-out... the load persists, so it cycles.
+    EXPECT_GE(power.brownOutCount(), 1u);
+}
+
+TEST(PowerSystem, NoTurnOnBelowThreshold)
+{
+    sim::Simulator simulator;
+    TheveninHarvester h(2.0, 1000.0); // Voc below the 2.4 V turn-on
+    PowerSystem power(simulator, "power", quietConfig(), &h);
+    power.start();
+    simulator.runFor(2 * sim::oneSec);
+    EXPECT_FALSE(power.poweredOn());
+    EXPECT_EQ(power.bootCount(), 0u);
+    EXPECT_NEAR(power.voltage(), 2.0, 0.01);
+}
+
+TEST(PowerSystem, ChargeConservation)
+{
+    sim::Simulator simulator;
+    TheveninHarvester h(3.0, 500.0);
+    auto config = quietConfig();
+    config.offLeakageAmps = 0.0;
+    PowerSystem power(simulator, "power", config, &h);
+    power.addLoad("load", 0.5e-3, true);
+    power.start();
+    simulator.runFor(3 * sim::oneSec);
+    double q_net =
+        power.cumulativeChargeIn() - power.cumulativeChargeOut();
+    double q_cap = power.capacitor().capacitance() * power.voltage();
+    EXPECT_NEAR(q_net, q_cap, 1e-6);
+}
+
+TEST(PowerSystem, LoadsSumAndGate)
+{
+    sim::Simulator simulator;
+    TheveninHarvester h(3.0, 1000.0);
+    PowerSystem power(simulator, "power", quietConfig(), &h);
+    auto a = power.addLoad("a", 1e-3, true);
+    auto b = power.addLoad("b", 2e-3, false);
+    EXPECT_DOUBLE_EQ(power.totalLoadAmps(), 1e-3);
+    power.setLoadEnabled(b, true);
+    EXPECT_DOUBLE_EQ(power.totalLoadAmps(), 3e-3);
+    power.setLoadCurrent(a, 0.5e-3);
+    EXPECT_DOUBLE_EQ(power.totalLoadAmps(), 2.5e-3);
+    EXPECT_TRUE(power.loadEnabled(a));
+    EXPECT_DOUBLE_EQ(power.loadCurrent(b), 2e-3);
+}
+
+TEST(PowerSystem, SourcesInjectSignedCurrent)
+{
+    sim::Simulator simulator;
+    NullHarvester none;
+    auto config = quietConfig();
+    config.initialVolts = 2.0;
+    config.offLeakageAmps = 0.0;
+    PowerSystem power(simulator, "power", config, &none);
+    auto src = power.addSource("src", [](double, double) {
+        return -1e-3; // constant drain
+    });
+    power.start();
+    simulator.runFor(sim::ticksFromSeconds(0.0094)); // dV = 0.2 V
+    EXPECT_NEAR(power.voltage(), 1.8, 0.01);
+    power.setSourceEnabled(src, false);
+    double v = power.voltage();
+    simulator.runFor(sim::oneSec);
+    EXPECT_NEAR(power.voltage(), v, 1e-9);
+}
+
+TEST(PowerSystem, OffLeakageOnlyWhenOff)
+{
+    sim::Simulator simulator;
+    NullHarvester none;
+    auto config = quietConfig();
+    config.initialVolts = 1.0; // below turn-on: device off
+    config.offLeakageAmps = 1e-6;
+    PowerSystem power(simulator, "power", config, &none);
+    power.addLoad("big", 10e-3, true); // must NOT drain while off
+    power.start();
+    simulator.runFor(sim::oneSec);
+    // Only the 1 uA leakage applies: dV = 1e-6 * 1 / 47e-6 = 21 mV.
+    EXPECT_NEAR(power.voltage(), 1.0 - 0.0213, 0.002);
+}
+
+TEST(PowerSystem, MaxVoltsClamp)
+{
+    sim::Simulator simulator;
+    TheveninHarvester h(9.0, 10.0);
+    auto config = quietConfig();
+    config.maxVolts = 3.3;
+    PowerSystem power(simulator, "power", config, &h);
+    power.start();
+    simulator.runFor(sim::oneSec);
+    EXPECT_LE(power.voltage(), 3.3 + 1e-9);
+}
+
+TEST(PowerSystem, RegulatedVoltageTracksDuringFailure)
+{
+    sim::Simulator simulator;
+    NullHarvester none;
+    auto config = quietConfig();
+    config.initialVolts = 2.4;
+    config.regulatorVolts = 2.0;
+    PowerSystem power(simulator, "power", config, &none);
+    EXPECT_DOUBLE_EQ(power.regulatedVoltage(), 2.0);
+    power.capacitor().setVoltage(1.5);
+    // Vreg drops below its regulated value with Vcap (paper 4.1.2).
+    EXPECT_DOUBLE_EQ(power.regulatedVoltage(), 1.5);
+}
+
+TEST(PowerSystem, MaxEnergyUsesTurnOnVoltage)
+{
+    sim::Simulator simulator;
+    NullHarvester none;
+    PowerSystem power(simulator, "power", quietConfig(), &none);
+    EXPECT_NEAR(power.maxEnergy(), 0.5 * 47e-6 * 2.4 * 2.4, 1e-12);
+}
+
+TEST(PowerSystem, RejectsBadConfig)
+{
+    sim::Simulator simulator;
+    NullHarvester none;
+    auto bad_cap = quietConfig();
+    bad_cap.capacitanceF = 0.0;
+    EXPECT_THROW(PowerSystem(simulator, "p", bad_cap, &none),
+                 sim::FatalError);
+    auto bad_thresh = quietConfig();
+    bad_thresh.brownOutVolts = 2.5;
+    EXPECT_THROW(PowerSystem(simulator, "p", bad_thresh, &none),
+                 sim::FatalError);
+    EXPECT_THROW(PowerSystem(simulator, "p", quietConfig(), nullptr),
+                 sim::FatalError);
+}
+
+TEST(PowerSystem, AdvanceToIsIdempotent)
+{
+    sim::Simulator simulator;
+    TheveninHarvester h(3.0, 1000.0);
+    PowerSystem power(simulator, "power", quietConfig(), &h);
+    power.start();
+    simulator.runFor(100 * sim::oneMs);
+    double v1 = power.voltage();
+    power.advanceTo(simulator.now());
+    power.advanceTo(simulator.now() - sim::oneMs); // past: no-op
+    EXPECT_DOUBLE_EQ(power.voltage(), v1);
+}
+
+/** Property sweep: sawtooth period scales with capacitance. */
+class SawtoothSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(SawtoothSweep, CycleCountScalesInverselyWithCapacitance)
+{
+    double farads = GetParam();
+    sim::Simulator simulator(9);
+    TheveninHarvester h(3.0, 4000.0);
+    auto config = quietConfig();
+    config.capacitanceF = farads;
+    PowerSystem power(simulator, "power", config, &h);
+    power.addLoad("mcu", 0.5e-3, true);
+    power.start();
+    simulator.runFor(10 * sim::oneSec);
+    ASSERT_GT(power.bootCount(), 0u)
+        << "should cycle at C=" << farads;
+    // Period ~ C, so boots ~ 1/C: check monotonic ordering via a
+    // coarse bound derived from the analytic charge/discharge times.
+    double charge_s = farads * 0.6 / 0.00015;
+    double discharge_s = farads * 0.6 / 0.00025;
+    double expected = 10.0 / (charge_s + discharge_s);
+    EXPECT_NEAR(static_cast<double>(power.bootCount()), expected,
+                expected * 0.5 + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacitances, SawtoothSweep,
+                         ::testing::Values(10e-6, 22e-6, 47e-6,
+                                           100e-6));
+
+} // namespace

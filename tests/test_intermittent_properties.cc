@@ -1,0 +1,439 @@
+/**
+ * @file
+ * Property-style tests of the intermittent execution model and
+ * EDB's invariants, swept over environments with parameterized
+ * gtest:
+ *
+ *  - progress: FRAM-resident computation survives arbitrary reboots
+ *    and produces the same result as continuous execution;
+ *  - checkpointing: volatile computation completes intermittently
+ *    when checkpointed, and the result matches continuous power;
+ *  - energy guards: |restored - saved| bounded by the control-loop
+ *    margin across guard costs and harvesting conditions;
+ *  - the linked-list bug statistics: the wild write only ever
+ *    happens under intermittent power.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/linked_list.hh"
+#include "edb/board.hh"
+#include "energy/harvester.hh"
+#include "isa/assembler.hh"
+#include "runtime/libedb.hh"
+#include "sim/simulator.hh"
+#include "target/wisp.hh"
+
+using namespace edb;
+
+namespace {
+
+/**
+ * Intermittence-safe FRAM-only program: computes sum(1..N) with a
+ * double-buffered accumulator. The accumulator for index i lives in
+ * slot (i & 1); the single-word index write is the atomic commit
+ * point, so a reboot anywhere re-runs at most one addition into the
+ * *other* slot and never double-counts. (A naive two-word commit is
+ * itself an intermittence bug -- an earlier revision of this test
+ * had one, and the simulator caught it.)
+ */
+std::string
+framSumProgram(unsigned n)
+{
+    // FRAM cells: 0x5000 idx, 0x5004 acc[0], 0x5008 acc[1],
+    // 0x500C done flag, 0x5010 final result.
+    return runtime::programHeader() + R"(
+main:
+    la   r5, 0x5000
+    la   r4, )" + std::to_string(n) +
+           R"(
+loop:
+    ldw  r1, [r5]              ; idx
+    cmp  r1, r4
+    bge  done
+    andi r2, r1, 1             ; current slot = idx & 1
+    shli r2, r2, 2
+    add  r3, r5, r2
+    ldw  r2, [r3 + 4]          ; acc[idx & 1]
+    addi r1, r1, 1
+    add  r2, r2, r1            ; acc' = acc + idx'
+    andi r3, r1, 1             ; new slot = idx' & 1
+    shli r3, r3, 2
+    add  r3, r5, r3
+    stw  r2, [r3 + 4]          ; write the shadow slot ...
+    stw  r1, [r5]              ; ... single-word atomic commit
+    br   loop
+done:
+    andi r2, r1, 1
+    shli r2, r2, 2
+    add  r2, r5, r2
+    ldw  r2, [r2 + 4]
+    stw  r2, [r5 + 16]         ; final result
+    li   r1, 1
+    stw  r1, [r5 + 12]         ; done flag
+    halt
+)" + runtime::libedbSource();
+}
+
+/** Wait for the done flag under a given harvester. */
+std::uint32_t
+runFramSum(const energy::Harvester *harvester, unsigned n,
+           std::uint64_t seed, sim::Tick budget,
+           std::uint64_t *reboots = nullptr)
+{
+    sim::Simulator simulator(seed);
+    target::Wisp wisp(simulator, "wisp", harvester, nullptr);
+    wisp.flash(isa::assemble(framSumProgram(n)));
+    wisp.start();
+    while (simulator.now() < budget &&
+           wisp.mcu().debugRead32(0x500C) != 1) {
+        simulator.runFor(50 * sim::oneMs);
+    }
+    if (reboots)
+        *reboots = wisp.power().bootCount();
+    return wisp.mcu().debugRead32(0x5010);
+}
+
+class IntermittentProgress
+    : public ::testing::TestWithParam<double> // reader distance
+{};
+
+TEST_P(IntermittentProgress, FramComputationSurvivesReboots)
+{
+    // Large enough to span several charge-discharge cycles.
+    constexpr unsigned n = 120000;
+    const auto expected = static_cast<std::uint32_t>(
+        std::uint64_t(n) * (n + 1) / 2);
+
+    energy::TheveninHarvester bench(3.0, 50.0);
+    EXPECT_EQ(runFramSum(&bench, n, 1, 10 * sim::oneSec), expected);
+
+    energy::RfHarvester rf(30.0, GetParam());
+    std::uint64_t reboots = 0;
+    EXPECT_EQ(runFramSum(&rf, n, 2, 60 * sim::oneSec, &reboots),
+              expected)
+        << "at distance " << GetParam();
+    EXPECT_GT(reboots, 1u) << "power was not actually intermittent";
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, IntermittentProgress,
+                         ::testing::Values(0.9, 1.0, 1.1));
+
+/**
+ * Volatile computation with checkpoints: the whole working set lives
+ * in registers; only CHKPT makes it durable. The loop body is
+ * idempotent from the last checkpoint.
+ */
+TEST(IntermittentCheckpoint, VolatileLoopCompletesWithCheckpoints)
+{
+    target::WispConfig config;
+    config.mcu.checkpointingEnabled = true;
+    sim::Simulator simulator(7);
+    energy::RfHarvester rf(30.0, 1.0);
+    target::Wisp wisp(simulator, "wisp", &rf, nullptr, config);
+    // xorshift-style hash over 150000 iterations, all in registers.
+    wisp.flash(isa::assemble(runtime::programHeader() + R"(
+main:
+    li   r5, 0                 ; i
+    li   r6, 0x1234            ; hash
+loop:
+    chkpt
+    ; 16 hash steps per checkpoint
+    li   r7, 16
+inner:
+    shli r1, r6, 3
+    xor  r6, r6, r1
+    shri r1, r6, 5
+    xor  r6, r6, r1
+    add  r6, r6, r5
+    addi r7, r7, -1
+    cmpi r7, 0
+    bne  inner
+    addi r5, r5, 16
+    la   r1, 150000
+    cmp  r5, r1
+    blt  loop
+    la   r1, 0x5000
+    stw  r6, [r1]
+    li   r2, 1
+    stw  r2, [r1 + 4]
+    halt
+)" + runtime::libedbSource()));
+    wisp.start();
+    while (simulator.now() < 60 * sim::oneSec &&
+           wisp.mcu().debugRead32(0x5004) != 1) {
+        simulator.runFor(50 * sim::oneMs);
+    }
+    ASSERT_EQ(wisp.mcu().debugRead32(0x5004), 1u)
+        << "did not finish under intermittent power";
+    EXPECT_GT(wisp.mcu().restoreCount(), 0u);
+    std::uint32_t intermittent_hash = wisp.mcu().debugRead32(0x5000);
+
+    // Reference: same program on continuous power.
+    sim::Simulator ref_sim(8);
+    energy::TheveninHarvester bench(3.0, 50.0);
+    target::Wisp ref(ref_sim, "ref", &bench, nullptr, config);
+    ref.flash(isa::assemble(runtime::programHeader() + R"(
+main:
+    li   r5, 0
+    li   r6, 0x1234
+loop:
+    chkpt
+    li   r7, 16
+inner:
+    shli r1, r6, 3
+    xor  r6, r6, r1
+    shri r1, r6, 5
+    xor  r6, r6, r1
+    add  r6, r6, r5
+    addi r7, r7, -1
+    cmpi r7, 0
+    bne  inner
+    addi r5, r5, 16
+    la   r1, 150000
+    cmp  r5, r1
+    blt  loop
+    la   r1, 0x5000
+    stw  r6, [r1]
+    li   r2, 1
+    stw  r2, [r1 + 4]
+    halt
+)" + runtime::libedbSource()));
+    ref.start();
+    ref_sim.runFor(2 * sim::oneSec);
+    ASSERT_EQ(ref.mcu().debugRead32(0x5004), 1u);
+    EXPECT_EQ(intermittent_hash, ref.mcu().debugRead32(0x5000));
+}
+
+TEST(IntermittentCheckpoint, WithoutCheckpointsItNeverFinishes)
+{
+    // The same volatile loop, checkpoint unit disabled: every reboot
+    // restarts from scratch and the budget is never enough.
+    sim::Simulator simulator(9);
+    energy::RfHarvester rf(30.0, 1.0);
+    target::Wisp wisp(simulator, "wisp", &rf, nullptr);
+    wisp.flash(isa::assemble(runtime::programHeader() + R"(
+main:
+    li   r5, 0
+    li   r6, 0
+loop:
+    addi r5, r5, 1
+    la   r1, 2000000           ; needs ~seconds of uptime
+    cmp  r5, r1
+    blt  loop
+    la   r1, 0x5000
+    li   r2, 1
+    stw  r2, [r1]
+    halt
+)" + runtime::libedbSource()));
+    wisp.start();
+    simulator.runFor(15 * sim::oneSec);
+    EXPECT_EQ(wisp.mcu().debugRead32(0x5000), 0u);
+    EXPECT_GT(wisp.power().bootCount(), 3u);
+}
+
+/** Guard cost sweep: the restore discrepancy is bounded. */
+class GuardCost : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(GuardCost, RestoreWithinMargin)
+{
+    unsigned burn = GetParam();
+    sim::Simulator simulator(100 + burn);
+    energy::RfHarvester rf(30.0, 1.0);
+    target::Wisp wisp(simulator, "wisp", &rf, nullptr);
+    edbdbg::EdbBoard board(simulator, "edb", wisp);
+    wisp.flash(isa::assemble(runtime::programHeader() + R"(
+main:
+    call edb_energy_guard_begin
+    la   r2, )" + std::to_string(burn) +
+                             R"(
+__burn:
+    addi r2, r2, -1
+    cmpi r2, 0
+    bne  __burn
+    call edb_energy_guard_end
+    la   r0, 0x5000
+    li   r1, 1
+    stw  r1, [r0]
+    halt
+)" + runtime::libedbSource()));
+    wisp.start();
+    ASSERT_TRUE(board.pumpUntil(
+        [&] { return wisp.mcu().debugRead32(0x5000) == 1; },
+        30 * sim::oneSec));
+    double margin =
+        board.chargeCircuit().config().restoreStopMargin;
+    EXPECT_GE(board.lastRestoredVolts(),
+              board.lastSavedVolts() - 0.01);
+    EXPECT_LE(board.lastRestoredVolts(),
+              board.lastSavedVolts() + margin + 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(BurnCycles, GuardCost,
+                         ::testing::Values(100u, 10000u, 400000u));
+
+TEST(IntermittenceBug, NeverFaultsOnContinuousPower)
+{
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        sim::Simulator simulator(seed);
+        energy::TheveninHarvester bench(3.0, 50.0);
+        target::Wisp wisp(simulator, "wisp", &bench, nullptr);
+        wisp.flash(apps::buildLinkedListApp());
+        wisp.start();
+        simulator.runFor(2 * sim::oneSec);
+        EXPECT_EQ(wisp.mcu().faultCount(), 0u) << "seed " << seed;
+    }
+}
+
+TEST(IntermittenceBug, EventuallyFaultsOnHarvestedPower)
+{
+    int faulted_runs = 0;
+    for (std::uint64_t seed : {11u, 12u, 13u}) {
+        sim::Simulator simulator(seed);
+        energy::RfHarvester rf(30.0, 1.0);
+        target::Wisp wisp(simulator, "wisp", &rf, nullptr);
+        wisp.flash(apps::buildLinkedListApp());
+        wisp.start();
+        while (simulator.now() < 60 * sim::oneSec &&
+               wisp.mcu().faultCount() == 0) {
+            simulator.runFor(100 * sim::oneMs);
+        }
+        faulted_runs += wisp.mcu().faultCount() > 0;
+    }
+    EXPECT_EQ(faulted_runs, 3);
+}
+
+TEST(IntermittenceBug, AssertAlwaysCatchesBeforeTheWildWrite)
+{
+    for (std::uint64_t seed : {21u, 22u, 23u}) {
+        sim::Simulator simulator(seed);
+        energy::RfHarvester rf(30.0, 1.0);
+        target::Wisp wisp(simulator, "wisp", &rf, nullptr);
+        edbdbg::EdbBoard board(simulator, "edb", wisp);
+        apps::LinkedListOptions options;
+        options.withAssert = true;
+        wisp.flash(apps::buildLinkedListApp(options));
+        wisp.start();
+        ASSERT_TRUE(board.waitForSession(120 * sim::oneSec))
+            << "seed " << seed;
+        EXPECT_EQ(board.session()->reason(),
+                  edbdbg::SessionReason::AssertFail);
+        // The keep-alive caught the corruption before undefined
+        // behaviour: no fault ever occurred.
+        EXPECT_EQ(wisp.mcu().faultCount(), 0u);
+        board.session()->resume();
+    }
+}
+
+} // namespace
+
+namespace {
+
+TEST(IntermittenceBug, CheckpointingDoesNotPreventIt)
+{
+    // Paper Section 2.1 / Fig 3: the corruption is in *non-volatile*
+    // data, so a volatile-state checkpointing runtime does not help;
+    // "reboots cause control to flow unintuitively back to a
+    // previous point in the execution" and the same wild write
+    // happens.
+    target::WispConfig config;
+    config.mcu.checkpointingEnabled = true;
+    sim::Simulator simulator(31);
+    energy::RfHarvester rf(30.0, 1.0);
+    target::Wisp wisp(simulator, "wisp", &rf, nullptr, config);
+    apps::LinkedListOptions options;
+    options.withCheckpoint = true; // chkpt at the top of the loop
+    wisp.flash(apps::buildLinkedListApp(options));
+    wisp.start();
+    while (simulator.now() < 60 * sim::oneSec &&
+           wisp.mcu().faultCount() == 0) {
+        simulator.runFor(100 * sim::oneMs);
+    }
+    EXPECT_GT(wisp.mcu().faultCount(), 0u);
+    EXPECT_GT(wisp.mcu().restoreCount(), 0u)
+        << "checkpoints were not actually exercised";
+}
+
+TEST(IntermittenceBug, GuardedThirdPartyCodeCannotFailIntermittently)
+{
+    // Paper Section 3.3.3: "As long as third-party library calls are
+    // wrapped in energy guards, intermittence failures are
+    // guaranteed to not occur within the library." Wrap the whole
+    // vulnerable loop body in a guard: no corruption can form.
+    sim::Simulator simulator(32);
+    energy::RfHarvester rf(30.0, 1.0);
+    target::Wisp wisp(simulator, "wisp", &rf, nullptr);
+    edbdbg::EdbBoard board(simulator, "edb", wisp);
+    // A guarded variant of the vulnerable append/remove cycle.
+    wisp.flash(isa::assemble(runtime::programHeader() + R"(
+.equ HEAD, 0x5010
+.equ TAILPTR, 0x5004
+.equ NODE, 0x5100
+.equ ITERS, 0x500C
+main:
+    la   r0, HEAD              ; (re)initialize only if tail is 0
+    la   r2, TAILPTR
+    ldw  r1, [r2]
+    cmpi r1, 0
+    bne  main_loop
+    li   r1, 0
+    stw  r1, [r0]
+    stw  r1, [r0 + 4]
+    stw  r0, [r2]
+main_loop:
+    call edb_energy_guard_begin
+    ; --- guarded, "third-party" list manipulation ---
+    la   r0, HEAD
+    ldw  r6, [r0]
+    cmpi r6, 0
+    bne  __remove
+    la   r1, NODE
+    li   r0, 0
+    stw  r0, [r1]
+    la   r2, TAILPTR
+    ldw  r3, [r2]
+    stw  r3, [r1 + 4]
+    stw  r1, [r3]
+    stw  r1, [r2]
+    br   __done
+__remove:
+    mov  r1, r6
+    la   r0, TAILPTR
+    ldw  r2, [r0]
+    cmp  r1, r2
+    bne  __wild
+    ldw  r2, [r1 + 4]
+    stw  r2, [r0]
+    ldw  r2, [r1 + 4]
+    ldw  r3, [r1]
+    stw  r3, [r2]
+    br   __done
+__wild:
+    ldw  r3, [r1]
+    ldw  r2, [r1 + 4]
+    stw  r2, [r3 + 4]          ; would fault on corruption
+__done:
+    call edb_energy_guard_end
+    ; --- unguarded application work: real energy is spent here, so
+    ; brown-outs (and reboots) still happen between library calls ---
+    la   r2, 30000
+__work:
+    addi r2, r2, -1
+    cmpi r2, 0
+    bne  __work
+    la   r0, ITERS
+    ldw  r1, [r0]
+    addi r1, r1, 1
+    stw  r1, [r0]
+    br   main_loop
+)" + runtime::libedbSource()));
+    wisp.start();
+    simulator.runFor(20 * sim::oneSec);
+    EXPECT_EQ(wisp.mcu().faultCount(), 0u);
+    EXPECT_GT(board.guardCount(), 20u);
+    EXPECT_GT(wisp.mcu().debugRead32(0x500C), 20u);
+    EXPECT_GT(wisp.power().bootCount(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit and property tests for the EH32 instruction set: encoding
+ * round-trips, mnemonics, disassembly, flags.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/isa.hh"
+#include "sim/rng.hh"
+
+using namespace edb::isa;
+
+namespace {
+
+const std::vector<Opcode> &
+allOpcodes()
+{
+    static const std::vector<Opcode> ops = {
+        Opcode::Nop,  Opcode::Halt,  Opcode::Li,    Opcode::Lui,
+        Opcode::Mov,  Opcode::Add,   Opcode::Sub,   Opcode::Mul,
+        Opcode::Divu, Opcode::Remu,  Opcode::And,   Opcode::Or,
+        Opcode::Xor,  Opcode::Shl,   Opcode::Shr,   Opcode::Sar,
+        Opcode::Addi, Opcode::Andi,  Opcode::Ori,   Opcode::Xori,
+        Opcode::Shli, Opcode::Shri,  Opcode::Cmp,   Opcode::Cmpi,
+        Opcode::Br,   Opcode::Beq,   Opcode::Bne,   Opcode::Blt,
+        Opcode::Bge,  Opcode::Bltu,  Opcode::Bgeu,  Opcode::Ldw,
+        Opcode::Ldb,  Opcode::Stw,   Opcode::Stb,   Opcode::Push,
+        Opcode::Pop,  Opcode::Call,  Opcode::Callr, Opcode::Ret,
+        Opcode::Reti, Opcode::Chkpt,
+    };
+    return ops;
+}
+
+bool
+isRType(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Divu:
+      case Opcode::Remu:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Sar:
+      case Opcode::Cmp:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isUnsignedImm(Opcode op)
+{
+    switch (op) {
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+      case Opcode::Shli:
+      case Opcode::Shri:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Parameterized round-trip over every opcode. */
+class OpcodeRoundTrip : public ::testing::TestWithParam<Opcode>
+{};
+
+TEST_P(OpcodeRoundTrip, EncodeDecodePreservesFields)
+{
+    Opcode op = GetParam();
+    edb::sim::Rng rng(static_cast<std::uint64_t>(op) + 1);
+    for (int trial = 0; trial < 50; ++trial) {
+        Instr instr;
+        instr.op = op;
+        instr.rd = static_cast<std::uint8_t>(rng.uniformInt(0, 15));
+        instr.rs = static_cast<std::uint8_t>(rng.uniformInt(0, 15));
+        if (isRType(op)) {
+            instr.rt =
+                static_cast<std::uint8_t>(rng.uniformInt(0, 15));
+            instr.imm = 0;
+        } else if (isUnsignedImm(op)) {
+            instr.imm =
+                static_cast<std::int32_t>(rng.uniformInt(0, 0xFFFF));
+        } else {
+            instr.imm = static_cast<std::int32_t>(
+                rng.uniformInt(-32768, 32767));
+        }
+        auto decoded = decode(encode(instr));
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_EQ(decoded->op, instr.op);
+        EXPECT_EQ(decoded->rd, instr.rd);
+        EXPECT_EQ(decoded->rs, instr.rs);
+        if (isRType(op))
+            EXPECT_EQ(decoded->rt, instr.rt);
+        else
+            EXPECT_EQ(decoded->imm, instr.imm);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, OpcodeRoundTrip,
+                         ::testing::ValuesIn(allOpcodes()),
+                         [](const auto &info) {
+                             return std::string(
+                                 mnemonic(info.param));
+                         });
+
+TEST(Isa, UnknownOpcodeDecodesToNullopt)
+{
+    EXPECT_FALSE(decode(0xFF000000).has_value());
+    EXPECT_FALSE(decode(0x80000000).has_value());
+}
+
+TEST(Isa, MnemonicRoundTrip)
+{
+    for (Opcode op : allOpcodes()) {
+        auto back = opcodeFromMnemonic(mnemonic(op));
+        ASSERT_TRUE(back.has_value()) << mnemonic(op);
+        EXPECT_EQ(*back, op);
+    }
+    EXPECT_FALSE(opcodeFromMnemonic("bogus").has_value());
+    // Case-insensitive.
+    EXPECT_EQ(opcodeFromMnemonic("ADD"), Opcode::Add);
+}
+
+TEST(Isa, SignExtensionOfImmediates)
+{
+    Instr instr{Opcode::Li, 1, 0, 0, -1};
+    auto decoded = decode(encode(instr));
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(decoded->imm, -1);
+    Instr ori{Opcode::Ori, 1, 1, 0, 0xFFFF};
+    decoded = decode(encode(ori));
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(decoded->imm, 0xFFFF); // zero-extended
+}
+
+TEST(Isa, DisassembleSamples)
+{
+    EXPECT_EQ(disassemble({Opcode::Li, 3, 0, 0, 42}), "li r3, 42");
+    EXPECT_EQ(disassemble({Opcode::Add, 1, 2, 3, 0}),
+              "add r1, r2, r3");
+    EXPECT_EQ(disassemble({Opcode::Ldw, 4, 5, 0, -8}),
+              "ldw r4, [r5 + -8]");
+    EXPECT_EQ(disassemble({Opcode::Cmp, 0, 1, 2, 0}), "cmp r1, r2");
+    EXPECT_EQ(disassemble({Opcode::Ret, 0, 0, 0, 0}), "ret");
+    EXPECT_EQ(disassemble({Opcode::Callr, 0, 7, 0, 0}), "callr r7");
+}
+
+TEST(Isa, BranchClassification)
+{
+    EXPECT_TRUE(isBranch(Opcode::Br));
+    EXPECT_TRUE(isBranch(Opcode::Beq));
+    EXPECT_TRUE(isBranch(Opcode::Call));
+    EXPECT_FALSE(isBranch(Opcode::Ret));
+    EXPECT_FALSE(isBranch(Opcode::Add));
+}
+
+TEST(Isa, CycleCostsAreSane)
+{
+    EXPECT_EQ(baseCycles(Opcode::Nop), 1u);
+    EXPECT_GT(baseCycles(Opcode::Mul), baseCycles(Opcode::Add));
+    EXPECT_GT(baseCycles(Opcode::Divu), baseCycles(Opcode::Mul));
+    for (Opcode op : allOpcodes())
+        EXPECT_GE(baseCycles(op), 1u) << mnemonic(op);
+}
+
+TEST(Flags, PackUnpackRoundTrip)
+{
+    for (unsigned bits = 0; bits < 16; ++bits) {
+        Flags f;
+        f.z = bits & 1;
+        f.n = bits & 2;
+        f.c = bits & 4;
+        f.v = bits & 8;
+        Flags g = Flags::unpack(f.pack());
+        EXPECT_EQ(g.z, f.z);
+        EXPECT_EQ(g.n, f.n);
+        EXPECT_EQ(g.c, f.c);
+        EXPECT_EQ(g.v, f.v);
+    }
+}
+
+} // namespace

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue, simulator,
+ * RNG, time helpers, time cursor, logging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "sim/simulator.hh"
+#include "sim/time.hh"
+#include "sim/time_cursor.hh"
+
+using namespace edb::sim;
+
+namespace {
+
+TEST(Time, UnitConversions)
+{
+    EXPECT_EQ(oneSec, 1'000'000'000'000);
+    EXPECT_EQ(ticksFromSeconds(1.0), oneSec);
+    EXPECT_EQ(ticksFromSeconds(0.5e-6), oneUs / 2);
+    EXPECT_DOUBLE_EQ(secondsFromTicks(oneSec), 1.0);
+    EXPECT_DOUBLE_EQ(millisFromTicks(oneMs), 1.0);
+    EXPECT_DOUBLE_EQ(microsFromTicks(oneUs), 1.0);
+}
+
+TEST(Time, McuCycleIsIntegral)
+{
+    // 4 MHz must map to an exact tick count (see time.hh rationale).
+    EXPECT_EQ(ticksFromSeconds(1.0 / 4e6), 250 * oneNs);
+}
+
+TEST(EventQueue, FiresInTimestampOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(30, [&] { order.push_back(3); });
+    queue.schedule(10, [&] { order.push_back(1); });
+    queue.schedule(20, [&] { order.push_back(2); });
+    Tick now = 0;
+    while (queue.runOne(now)) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        queue.schedule(42, [&order, i] { order.push_back(i); });
+    Tick now = 0;
+    while (queue.runOne(now)) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue queue;
+    bool fired = false;
+    EventId id = queue.schedule(10, [&] { fired = true; });
+    EXPECT_TRUE(queue.cancel(id));
+    EXPECT_TRUE(queue.empty());
+    Tick now = 0;
+    EXPECT_FALSE(queue.runOne(now));
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse)
+{
+    EventQueue queue;
+    EventId id = queue.schedule(10, [] {});
+    EXPECT_TRUE(queue.cancel(id));
+    EXPECT_FALSE(queue.cancel(id));
+    EXPECT_FALSE(queue.cancel(invalidEventId));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled)
+{
+    EventQueue queue;
+    EventId early = queue.schedule(10, [] {});
+    queue.schedule(20, [] {});
+    queue.cancel(early);
+    EXPECT_EQ(queue.nextTime(), 20);
+    EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueue, NextTimeEmptyIsMax)
+{
+    EventQueue queue;
+    EXPECT_EQ(queue.nextTime(), maxTick);
+}
+
+TEST(EventQueue, EventsMayScheduleEvents)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(10, [&] {
+        order.push_back(1);
+        queue.schedule(15, [&] { order.push_back(2); });
+    });
+    Tick now = 0;
+    while (queue.runOne(now)) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(now, 15);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(100, [&] { ++fired; });
+    sim.schedule(200, [&] { ++fired; });
+    sim.runUntil(150);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), 150);
+    sim.runUntil(200); // boundary events fire
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunForIsRelative)
+{
+    Simulator sim;
+    sim.runFor(50);
+    EXPECT_EQ(sim.now(), 50);
+    sim.runFor(50);
+    EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, ScheduleInPastClampsToNow)
+{
+    Simulator sim;
+    sim.runFor(100);
+    bool fired = false;
+    sim.schedule(10, [&] { fired = true; });
+    sim.runFor(1);
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(sim.now(), 101);
+}
+
+TEST(Simulator, StopEndsRunEarly)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(10, [&] {
+        ++fired;
+        sim.stop();
+    });
+    sim.schedule(20, [&] { ++fired; });
+    sim.runUntil(100);
+    EXPECT_EQ(fired, 1);
+    sim.runUntil(100);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, TimeIsMonotonic)
+{
+    Simulator sim;
+    Tick last = -1;
+    for (int i = 0; i < 50; ++i) {
+        sim.scheduleIn(i * 7 % 13, [&sim, &last] {
+            EXPECT_GE(sim.now(), last);
+            last = sim.now();
+        });
+    }
+    sim.runToCompletion();
+}
+
+TEST(Simulator, ComponentsRegister)
+{
+    Simulator sim;
+    Component a(sim, "a");
+    Component b(sim, "b");
+    ASSERT_EQ(sim.components().size(), 2u);
+    EXPECT_EQ(sim.components()[0]->name(), "a");
+    EXPECT_EQ(&a.sim(), &sim);
+    EXPECT_EQ(b.now(), 0);
+}
+
+TEST(Rng, DeterministicBySeed)
+{
+    Rng a(7), b(7), c(8);
+    double va = a.uniform();
+    EXPECT_DOUBLE_EQ(va, b.uniform());
+    EXPECT_NE(va, c.uniform());
+}
+
+TEST(Rng, UniformBounds)
+{
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniform(2.0, 3.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusive)
+{
+    Rng rng(1);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = rng.uniformInt(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == 0;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMomentsRoughlyCorrect)
+{
+    Rng rng(2);
+    double sum = 0, sum2 = 0;
+    constexpr int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.gaussian(2.0);
+        sum += v;
+        sum2 += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.1);
+    EXPECT_NEAR(sum2 / n, 4.0, 0.3);
+}
+
+TEST(Rng, GaussianZeroSigmaIsZero)
+{
+    Rng rng(3);
+    EXPECT_EQ(rng.gaussian(0.0), 0.0);
+    EXPECT_EQ(rng.gaussian(-1.0), 0.0);
+}
+
+TEST(Rng, ChanceEdges)
+{
+    Rng rng(4);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(TimeCursor, TracksMaxOfClocks)
+{
+    Simulator sim;
+    TimeCursor cursor(sim);
+    EXPECT_EQ(cursor.now(), 0);
+    cursor.advance(500);
+    EXPECT_EQ(cursor.now(), 500);
+    cursor.advance(100); // lower values ignored
+    EXPECT_EQ(cursor.now(), 500);
+    sim.runFor(1000);
+    EXPECT_EQ(cursor.now(), 1000);
+}
+
+TEST(TimeCursor, ScheduleInUsesLocalClock)
+{
+    Simulator sim;
+    TimeCursor cursor(sim);
+    cursor.advance(300);
+    bool fired = false;
+    Tick when = 0;
+    cursor.scheduleIn(100, [&] {
+        fired = true;
+        when = sim.now();
+    });
+    sim.runToCompletion();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(when, 400);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad ", 42), FatalError);
+    try {
+        fatal("value=", 7);
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value=7");
+    }
+}
+
+} // namespace

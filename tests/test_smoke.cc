@@ -1,0 +1,99 @@
+/**
+ * @file
+ * End-to-end substrate smoke tests: assemble guest programs, run them
+ * on the simulated WISP under bench and harvested power.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/linked_list.hh"
+#include "energy/harvester.hh"
+#include "isa/assembler.hh"
+#include "runtime/libedb.hh"
+#include "sim/simulator.hh"
+#include "target/wisp.hh"
+
+using namespace edb;
+
+namespace {
+
+/** A Wisp on a strong bench supply that never browns out. */
+struct BenchTarget
+{
+    sim::Simulator sim{42};
+    energy::TheveninHarvester supply{3.0, 10.0};
+    target::Wisp wisp;
+
+    BenchTarget() : wisp(sim, "wisp", &supply, nullptr) {}
+};
+
+TEST(Smoke, AssembleAndRunTinyProgram)
+{
+    BenchTarget t;
+    auto prog = isa::assemble(runtime::programHeader() + R"(
+main:
+    li   r1, 10
+    li   r2, 32
+    add  r3, r1, r2
+    la   r0, 0x5000
+    stw  r3, [r0]
+    halt
+edb_dbg_isr:
+    reti
+)");
+    t.wisp.flash(prog);
+    t.wisp.start();
+    t.sim.runFor(20 * sim::oneMs);
+    EXPECT_EQ(t.wisp.state(), mcu::McuState::Halted);
+    EXPECT_EQ(t.wisp.mcu().debugRead32(0x5000), 42u);
+}
+
+TEST(Smoke, LinkedListRunsForeverOnContinuousPower)
+{
+    BenchTarget t;
+    t.wisp.flash(apps::buildLinkedListApp());
+    t.wisp.start();
+    t.sim.runFor(300 * sim::oneMs);
+    EXPECT_EQ(t.wisp.state(), mcu::McuState::Running);
+    EXPECT_EQ(t.wisp.mcu().faultCount(), 0u);
+    std::uint32_t iters = t.wisp.mcu().debugRead32(
+        apps::linked_list_layout::iterCountAddr);
+    EXPECT_GT(iters, 100u);
+}
+
+TEST(Smoke, LinkedListFaultsUnderIntermittentPower)
+{
+    sim::Simulator simulator{7};
+    energy::RfHarvester rf{30.0, 1.0};
+    target::Wisp wisp(simulator, "wisp", &rf, nullptr);
+    wisp.flash(apps::buildLinkedListApp());
+    wisp.start();
+    simulator.runFor(20 * sim::oneSec);
+    // The device must have cycled through many charge-discharge
+    // cycles and eventually hit the wild-pointer bus fault.
+    EXPECT_GT(wisp.power().bootCount(), 5u);
+    EXPECT_GT(wisp.mcu().faultCount(), 0u);
+}
+
+TEST(Smoke, SawtoothChargeDischarge)
+{
+    sim::Simulator simulator{7};
+    energy::RfHarvester rf{30.0, 1.0};
+    target::Wisp wisp(simulator, "wisp", &rf, nullptr);
+    // Spin forever: classic active drain.
+    wisp.flash(isa::assemble(runtime::programHeader() + R"(
+main:
+    br   main
+edb_dbg_isr:
+    reti
+)"));
+    wisp.start();
+    simulator.runFor(5 * sim::oneSec);
+    EXPECT_GT(wisp.power().bootCount(), 2u);
+    EXPECT_GT(wisp.power().brownOutCount(), 2u);
+    double v = wisp.voltage();
+    EXPECT_GT(v, 0.5);
+    EXPECT_LT(v, 3.3);
+}
+
+} // namespace
