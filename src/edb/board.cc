@@ -1,5 +1,6 @@
 #include "edb/board.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "runtime/protocol_defs.hh"
@@ -91,20 +92,27 @@ EdbBoard::EdbBoard(sim::Simulator &simulator,
                       on ? "turn-on" : "brown-out");
     });
 
-    // Protocol event handlers.
+    // Protocol event handlers. Each is gated to the modes where the
+    // event is meaningful: duplicated frames (wire faults, probe
+    // replays crossing the original) must not double-trigger.
+    protocol.setInterByteTimeout(cfg.interByteTimeout);
     protocol.handlers.assertFail = [this](std::uint16_t id) {
+        if (mode != Mode::AwaitFrame)
+            return;
         ++asserts;
         traceBuf.push(now(), trace::Kind::AssertFail, savedVolts, 0.0,
                       id, "assert-fail");
         openSession(SessionReason::AssertFail, id);
     };
     protocol.handlers.bkptHit = [this](std::uint16_t id) {
+        if (mode != Mode::AwaitFrame)
+            return;
         auto it = codeBkpts.find(id);
         if (it != codeBkpts.end() && it->second &&
             savedVolts > *it->second) {
             // Combined breakpoint whose energy condition is not met:
             // resume immediately without opening a session.
-            sendToTarget(proto::cmdResume);
+            sendFrame({proto::cmdResume});
             return;
         }
         SessionReason reason = SessionReason::CodeBreakpoint;
@@ -116,17 +124,25 @@ EdbBoard::EdbBoard(sim::Simulator &simulator,
         openSession(reason, id);
     };
     protocol.handlers.guardBegin = [this] {
+        if (mode != Mode::AwaitFrame)
+            return;
         ++guards;
         mode = Mode::GuardActive;
         traceBuf.push(now(), trace::Kind::EnergyGuard, savedVolts, 0.0,
                       1, "guard-begin");
     };
     protocol.handlers.guardEnd = [this] {
+        // Accepted from AwaitFrame too: if the guard-begin frame was
+        // lost the guard still has to end with a restore.
+        if (mode != Mode::GuardActive && mode != Mode::AwaitFrame)
+            return;
         traceBuf.push(now(), trace::Kind::EnergyGuard, savedVolts, 0.0,
                       0, "guard-end");
         beginRestore(true);
     };
     protocol.handlers.printfText = [this](const std::string &text) {
+        if (mode != Mode::AwaitFrame && mode != Mode::GuardActive)
+            return;
         ++printfs;
         traceBuf.push(now(), trace::Kind::Printf, savedVolts, 0.0, 0,
                       text);
@@ -134,9 +150,42 @@ EdbBoard::EdbBoard(sim::Simulator &simulator,
             printfSink(text);
         beginRestore(true);
     };
+    protocol.handlers.readReply =
+        [this](const std::vector<std::uint8_t> &data) {
+            if (mode == Mode::InSession)
+                lastReadReply = data;
+        };
+    protocol.handlers.writeAck = [this] {
+        if (mode == Mode::InSession)
+            writeAcked = true;
+    };
+    protocol.handlers.waitRestore = [this] {
+        // The target is stuck waiting for ackRestored: its event
+        // frame (guard-end / printf) was lost. Restore and release
+        // it; the episode completes degraded instead of deadlocking.
+        if (mode != Mode::AwaitFrame && mode != Mode::GuardActive)
+            return;
+        ++linkStats_.degradedEpisodes;
+        lastAbortReason_ = "event-frame-lost";
+        traceBuf.push(now(), trace::Kind::Generic, savedVolts, 0.0, 0,
+                      "recover-wait-restore");
+        beginRestore(true);
+    };
 
     // Continuous energy sampling (passive mode backbone).
     sim().scheduleIn(cfg.energySamplePeriod, [this] { sampleEnergy(); });
+}
+
+void
+EdbBoard::injectFaults(sim::FaultInjector *fault_injector)
+{
+    injector = fault_injector;
+    if (injector) {
+        adc_.setFaultHook(
+            [inj = injector](double v) { return inj->onAdc(v); });
+    } else {
+        adc_.setFaultHook(nullptr);
+    }
 }
 
 bool
@@ -294,20 +343,94 @@ EdbBoard::enterActive()
     tether.setEnabled(true);
     protocol.reset();
     mode = Mode::AwaitFrame;
-    sendToTarget(proto::ackActive);
+    lastAbortReason_.clear();
+    probesSent = 0;
+    ackRetries = 0;
+    framesOkAtLastCheck = protocol.stats().framesOk;
+    cancelWatchdog();
+    watchdogEvent = sim().scheduleIn(cfg.linkProbeTimeout,
+                                     [this] { episodeWatchdog(); });
+    sendFrame({proto::ackActive});
+}
+
+void
+EdbBoard::episodeWatchdog()
+{
+    watchdogEvent = sim::invalidEventId;
+    switch (mode) {
+      case Mode::Passive:
+        return; // Episode already closed; stay disarmed.
+      case Mode::InSession:
+        // Session commands carry their own timeouts and retries.
+        break;
+      case Mode::AwaitFrame:
+      case Mode::GuardActive: {
+        std::uint64_t ok = protocol.stats().framesOk;
+        if (ok != framesOkAtLastCheck) {
+            framesOkAtLastCheck = ok;
+            probesSent = 0;
+        } else {
+            unsigned budget = mode == Mode::GuardActive
+                                  ? cfg.guardProbeMax
+                                  : cfg.linkProbeMax;
+            if (probesSent >= budget) {
+                // No frame ever survived: abandon the episode,
+                // restore whatever energy state we can, and re-arm.
+                lastAbortReason_ = "link-dead";
+                ++linkStats_.abortedEpisodes;
+                traceBuf.push(now(), trace::Kind::Generic, savedVolts,
+                              0.0, 0, "abort-link-dead");
+                beginRestore(false);
+                break;
+            }
+            ++probesSent;
+            ++linkStats_.probes;
+            sendFrame({proto::cmdStatus});
+        }
+        break;
+      }
+      case Mode::Restoring:
+        // Restore finished but the request line never fell: the
+        // ackRestored frame was lost. Resend it a bounded number of
+        // times, then force the episode closed.
+        if (!charger.active() && reqHigh) {
+            if (ackRetries >= cfg.ackRetryMax) {
+                lastAbortReason_ = "ack-restored-lost";
+                ++linkStats_.abortedEpisodes;
+                closeEpisode();
+                return;
+            }
+            ++ackRetries;
+            ++linkStats_.ackRetransmits;
+            sendFrame({proto::ackRestored});
+        }
+        break;
+    }
+    if (mode != Mode::Passive) {
+        watchdogEvent = sim().scheduleIn(
+            cfg.linkProbeTimeout, [this] { episodeWatchdog(); });
+    }
+}
+
+void
+EdbBoard::cancelWatchdog()
+{
+    if (watchdogEvent != sim::invalidEventId) {
+        sim().cancel(watchdogEvent);
+        watchdogEvent = sim::invalidEventId;
+    }
 }
 
 void
 EdbBoard::onDebugByte(std::uint8_t byte, sim::Tick when)
 {
-    (void)when;
-    if (mode == Mode::InSession && rxExpected > 0) {
-        rxReply.push_back(byte);
-        if (rxReply.size() >= rxExpected)
-            rxExpected = 0;
+    if (injector) {
+        auto r = injector->onWire(byte);
+        for (int i = 0; i < r.count; ++i)
+            protocol.onByte(r.bytes[i], when);
         return;
     }
-    protocol.onByte(byte);
+    protocol.onByte(byte, when);
 }
 
 void
@@ -315,6 +438,13 @@ EdbBoard::sendToTarget(std::uint8_t byte)
 {
     txQueue.push_back(byte);
     pumpTxQueue();
+}
+
+void
+EdbBoard::sendFrame(const std::vector<std::uint8_t> &payload)
+{
+    for (std::uint8_t byte : buildFrame(payload))
+        sendToTarget(byte);
 }
 
 void
@@ -327,7 +457,15 @@ EdbBoard::pumpTxQueue()
     txQueue.pop_front();
     sim::Tick bt = wisp.debugPort().uart().byteTime();
     sim().scheduleIn(bt, [this, byte] {
-        wisp.debugPort().uart().receiveByte(byte);
+        // The wire-fault model applies at delivery: this direction
+        // feeds the target's deframer, which hunts past damage.
+        if (injector) {
+            auto r = injector->onWire(byte);
+            for (int i = 0; i < r.count; ++i)
+                wisp.debugPort().uart().receiveByte(r.bytes[i]);
+        } else {
+            wisp.debugPort().uart().receiveByte(byte);
+        }
         txBusy = false;
         pumpTxQueue();
     });
@@ -344,7 +482,14 @@ EdbBoard::beginRestore(bool ack_after)
         closeEpisode();
         return;
     }
-    charger.restoreTo(savedVolts, [this, ack_after] {
+    charger.restoreTo(savedVolts, [this, ack_after](RampResult result) {
+        if (result == RampResult::DeadlineExceeded) {
+            // Supply faulted mid-restore (fade, glitch): report the
+            // episode degraded but still release the target rather
+            // than spinning the control loop forever.
+            lastAbortReason_ = "restore-deadline";
+            ++linkStats_.degradedEpisodes;
+        }
         lastRestoredTrue = wisp.power().voltage();
         restoredVolts = adc_.sampleVolts(lastRestoredTrue);
         // Record the episode's compensation so analyses can separate
@@ -352,10 +497,11 @@ EdbBoard::beginRestore(bool ack_after)
         traceBuf.push(now(), trace::Kind::Generic, lastSavedTrue,
                       lastRestoredTrue, 0, "restore");
         if (ack_after) {
-            sendToTarget(proto::ackRestored);
+            sendFrame({proto::ackRestored});
             if (!reqHigh)
                 closeEpisode();
-            // else: the req falling edge closes the episode.
+            // else: the req falling edge closes the episode; the
+            // watchdog retransmits ackRestored if it was lost.
         } else {
             closeEpisode();
         }
@@ -369,9 +515,18 @@ EdbBoard::closeEpisode()
     tether.setEnabled(false);
     charger.abort();
     protocol.reset();
-    rxExpected = 0;
-    if (activeSession)
+    cancelWatchdog();
+    lastReadReply.clear();
+    writeAcked = false;
+    if (activeSession && activeSession->open_) {
         activeSession->open_ = false;
+        if (!activeSession->resumed_) {
+            activeSession->aborted_ = true;
+            activeSession->abortReason_ = lastAbortReason_.empty()
+                                              ? "episode-closed"
+                                              : lastAbortReason_;
+        }
+    }
     wisp.mcu().clearDebugIrq();
     // A new debug request may have been raised while this episode
     // was still restoring (e.g. back-to-back printfs); service it.
@@ -429,20 +584,41 @@ EdbBoard::breakIn(sim::Tick timeout)
         wisp.state() != mcu::McuState::Running) {
         return false;
     }
+    // The break-in IRQ can be swallowed by a lost episode (ackActive
+    // never arriving, event frame dead). Each failed episode clears
+    // the IRQ on close, so re-raise and try again until the deadline.
+    sim::Tick deadline = sim().now() + timeout;
     pendingIrqReason = SessionReason::Manual;
     wisp.mcu().raiseDebugIrq();
-    return waitForSession(timeout);
+    while (sim().now() < deadline) {
+        sim::Tick slice = std::min<sim::Tick>(
+            50 * sim::oneMs, deadline - sim().now());
+        if (waitForSession(slice))
+            return true;
+        if (mode == Mode::Passive &&
+            wisp.state() == mcu::McuState::Running) {
+            pendingIrqReason = SessionReason::Manual;
+            wisp.mcu().raiseDebugIrq();
+        }
+    }
+    return false;
 }
 
 bool
 EdbBoard::chargeTo(double volts, sim::Tick timeout)
 {
-    bool done = false;
-    charger.rampTo(volts, 0.0, [&done] { done = true; });
-    bool ok = pumpUntil([&done] { return done; }, timeout);
-    if (!ok)
+    bool finished = false;
+    bool converged = false;
+    charger.rampTo(volts, 0.0, [&](RampResult result) {
+        finished = true;
+        converged = result == RampResult::Converged;
+    });
+    bool ok = pumpUntil([&finished] { return finished; }, timeout);
+    if (!ok) {
         charger.abort();
-    return ok;
+        return false;
+    }
+    return converged;
 }
 
 bool
@@ -457,19 +633,49 @@ EdbBoard::sessionRead(std::uint32_t addr, std::uint16_t len,
 {
     if (mode != Mode::InSession || len == 0)
         return std::nullopt;
-    rxReply.clear();
-    rxExpected = len;
-    sendToTarget(proto::cmdRead);
-    for (int i = 0; i < 4; ++i)
-        sendToTarget(static_cast<std::uint8_t>(addr >> (8 * i)));
-    sendToTarget(static_cast<std::uint8_t>(len & 0xFF));
-    sendToTarget(static_cast<std::uint8_t>(len >> 8));
-    bool ok = pumpUntil(
-        [this, len] { return rxReply.size() >= len; }, timeout);
-    rxExpected = 0;
-    if (!ok)
-        return std::nullopt;
-    return rxReply;
+    sim::Tick per_attempt = std::max<sim::Tick>(
+        10 * sim::oneMs,
+        timeout / static_cast<sim::Tick>(cfg.readRetryMax + 1));
+    std::vector<std::uint8_t> out;
+    out.reserve(len);
+    while (out.size() < len) {
+        auto chunk = static_cast<std::uint16_t>(
+            std::min<std::size_t>(cfg.readChunk, len - out.size()));
+        std::uint32_t at =
+            addr + static_cast<std::uint32_t>(out.size());
+        bool got = false;
+        for (unsigned attempt = 0; attempt <= cfg.readRetryMax;
+             ++attempt) {
+            if (attempt > 0)
+                ++linkStats_.readRetries;
+            lastReadReply.clear();
+            std::vector<std::uint8_t> p;
+            p.push_back(proto::cmdRead);
+            for (int i = 0; i < 4; ++i)
+                p.push_back(
+                    static_cast<std::uint8_t>(at >> (8 * i)));
+            p.push_back(static_cast<std::uint8_t>(chunk & 0xFF));
+            p.push_back(static_cast<std::uint8_t>(chunk >> 8));
+            sendFrame(p);
+            bool done = pumpUntil(
+                [this, chunk] {
+                    return lastReadReply.size() == chunk ||
+                           mode != Mode::InSession;
+                },
+                per_attempt);
+            if (mode != Mode::InSession)
+                return std::nullopt;
+            if (done && lastReadReply.size() == chunk) {
+                got = true;
+                break;
+            }
+        }
+        if (!got)
+            return std::nullopt;
+        out.insert(out.end(), lastReadReply.begin(),
+                   lastReadReply.end());
+    }
+    return out;
 }
 
 bool
@@ -478,19 +684,34 @@ EdbBoard::sessionWrite(std::uint32_t addr, std::uint32_t value,
 {
     if (mode != Mode::InSession)
         return false;
-    sendToTarget(proto::cmdWrite);
-    for (int i = 0; i < 4; ++i)
-        sendToTarget(static_cast<std::uint8_t>(addr >> (8 * i)));
-    for (int i = 0; i < 4; ++i)
-        sendToTarget(static_cast<std::uint8_t>(value >> (8 * i)));
-    // No explicit ack: wait for the bytes to drain plus slack for
-    // the service loop to execute the store.
-    if (!pumpUntil([this] { return txQueue.empty() && !txBusy; },
-                   timeout)) {
-        return false;
+    sim::Tick per_attempt = std::max<sim::Tick>(
+        10 * sim::oneMs,
+        timeout / static_cast<sim::Tick>(cfg.writeRetryMax + 1));
+    // Writes are idempotent (absolute address and value), so a lost
+    // command or lost ack is safely retried.
+    for (unsigned attempt = 0; attempt <= cfg.writeRetryMax;
+         ++attempt) {
+        if (attempt > 0)
+            ++linkStats_.writeRetries;
+        writeAcked = false;
+        std::vector<std::uint8_t> p;
+        p.push_back(proto::cmdWrite);
+        for (int i = 0; i < 4; ++i)
+            p.push_back(static_cast<std::uint8_t>(addr >> (8 * i)));
+        for (int i = 0; i < 4; ++i)
+            p.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+        sendFrame(p);
+        bool done = pumpUntil(
+            [this] {
+                return writeAcked || mode != Mode::InSession;
+            },
+            per_attempt);
+        if (mode != Mode::InSession)
+            return false;
+        if (done && writeAcked)
+            return true;
     }
-    pumpFor(2 * wisp.debugPort().uart().byteTime());
-    return true;
+    return false;
 }
 
 void
@@ -502,7 +723,36 @@ EdbBoard::pumpFor(sim::Tick duration)
 void
 EdbBoard::sessionResume()
 {
-    sendToTarget(proto::cmdResume);
+    // A corrupted cmdResume leaves the target in its service loop
+    // (mode stays InSession): resend a bounded number of times. A
+    // duplicate resume is harmless — the stale frame is drained by
+    // the target's next ackActive wait.
+    for (unsigned attempt = 0; attempt <= cfg.resumeRetryMax;
+         ++attempt) {
+        if (attempt > 0)
+            ++linkStats_.resumeRetries;
+        sendFrame({proto::cmdResume});
+        if (pumpUntil([this] { return mode != Mode::InSession; },
+                      100 * sim::oneMs)) {
+            break;
+        }
+    }
+    if (mode == Mode::InSession) {
+        // Every resend died on the wire: declare the episode lost
+        // rather than leaving the session open forever. Restore the
+        // saved energy level, drop the tether and close; the target
+        // is still parked in its service loop with REQ high, so the
+        // re-arm in closeEpisode starts a fresh handshake (a status
+        // probe makes it resend its event frame) and the next
+        // session gets a full retry budget.
+        lastAbortReason_ = "resume-lost";
+        ++linkStats_.abortedEpisodes;
+        traceBuf.push(now(), trace::Kind::Generic, savedVolts, 0.0, 0,
+                      "abort-resume-lost");
+        if (activeSession)
+            activeSession->resumed_ = false;
+        beginRestore(false);
+    }
     waitPassive(2 * sim::oneSec);
 }
 

@@ -35,6 +35,7 @@
 #include "edb/session.hh"
 #include "energy/supply.hh"
 #include "rfid/channel.hh"
+#include "sim/fault.hh"
 #include "target/wisp.hh"
 #include "trace/trace.hh"
 
@@ -56,6 +57,48 @@ struct EdbConfig
     ChargeCircuitConfig charge = {};
     /** Model the passive pin leakages on the target supply. */
     bool attachPassiveLeakage = true;
+
+    /// @name Link-robustness knobs
+    /// @{
+    /** Episode watchdog period: how long the board waits for frame
+     *  progress before probing the target with cmdStatus. */
+    sim::Tick linkProbeTimeout = 20 * sim::oneMs;
+    /** Fruitless probes while awaiting an event frame before the
+     *  episode is abandoned as link-dead. */
+    unsigned linkProbeMax = 5;
+    /** Probe budget inside an energy guard (guard bodies legitimately
+     *  run for a long time without traffic, so this is a backstop
+     *  against true deadlock, not a responsiveness bound). */
+    unsigned guardProbeMax = 500;
+    /** ackRestored retransmissions before the episode is forced
+     *  closed (the request line never fell). */
+    unsigned ackRetryMax = 5;
+    /** Per-command retry budgets for session reads/writes/resume. */
+    unsigned readRetryMax = 4;
+    unsigned writeRetryMax = 4;
+    unsigned resumeRetryMax = 4;
+    /** Largest single memory-read request (reply must fit one
+    frame). */
+    std::uint16_t readChunk = 48;
+    /** Host parser inter-byte resync timeout. */
+    sim::Tick interByteTimeout = 2 * sim::oneMs;
+    /// @}
+};
+
+/** Link-health counters for one board (see also ProtocolEngine
+ *  stats for parse-level counters). */
+struct LinkStats
+{
+    std::uint64_t probes = 0;          ///< cmdStatus probes sent.
+    std::uint64_t ackRetransmits = 0;  ///< ackRestored resends.
+    std::uint64_t readRetries = 0;
+    std::uint64_t writeRetries = 0;
+    std::uint64_t resumeRetries = 0;
+    /** Episodes completed via a recovery path (event frame lost,
+     *  restore deadline, ...) rather than the happy path. */
+    std::uint64_t degradedEpisodes = 0;
+    /** Episodes abandoned outright (link dead, ack lost). */
+    std::uint64_t abortedEpisodes = 0;
 };
 
 /** Which passive streams are being recorded (Table 1 `trace ...`). */
@@ -141,6 +184,14 @@ class EdbBoard : public sim::Component
         sessionHook = std::move(hook);
     }
 
+    /**
+     * Route both debug-UART directions and the board ADC through a
+     * fault injector (nullptr detaches). With no injector — or a
+     * disabled plan — behaviour is bit-identical to an unfaulted
+     * board.
+     */
+    void injectFaults(sim::FaultInjector *fault_injector);
+
     /// @name Introspection
     /// @{
     target::Wisp &target() { return wisp; }
@@ -160,6 +211,15 @@ class EdbBoard : public sim::Component
      *  instants, for Table 3's independent measurement column. */
     double trueSavedVolts() const { return lastSavedTrue; }
     double trueRestoredVolts() const { return lastRestoredTrue; }
+    /** Link-health counters. */
+    const LinkStats &linkStats() const { return linkStats_; }
+    /** Why the last degraded/aborted episode ended ("" = none). */
+    const std::string &lastAbortReason() const
+    {
+        return lastAbortReason_;
+    }
+    /** Host-side frame parser (stats inspection). */
+    const ProtocolEngine &protocolEngine() const { return protocol; }
     /// @}
 
     /** Pump the simulator for a fixed duration. */
@@ -186,10 +246,13 @@ class EdbBoard : public sim::Component
     void onDebugByte(std::uint8_t byte, sim::Tick when);
     void onMarker(std::uint32_t id, sim::Tick when);
     void sendToTarget(std::uint8_t byte);
+    void sendFrame(const std::vector<std::uint8_t> &payload);
     void pumpTxQueue();
     void beginRestore(bool ack_after);
     void closeEpisode();
     void openSession(SessionReason reason, std::uint16_t id);
+    void episodeWatchdog();
+    void cancelWatchdog();
 
     // Session support (invoked by DebugSession).
     std::optional<std::vector<std::uint8_t>>
@@ -237,9 +300,19 @@ class EdbBoard : public sim::Component
     std::deque<std::uint8_t> txQueue;
     bool txBusy = false;
 
-    // Session read/write reply collection.
-    std::vector<std::uint8_t> rxReply;
-    std::size_t rxExpected = 0;
+    // Session read/write reply collection (one complete frame each).
+    std::vector<std::uint8_t> lastReadReply;
+    bool writeAcked = false;
+
+    // Episode watchdog (probing / ack retransmission).
+    sim::EventId watchdogEvent = sim::invalidEventId;
+    unsigned probesSent = 0;
+    unsigned ackRetries = 0;
+    std::uint64_t framesOkAtLastCheck = 0;
+
+    sim::FaultInjector *injector = nullptr;
+    LinkStats linkStats_;
+    std::string lastAbortReason_;
 
     std::uint64_t printfs = 0;
     std::uint64_t guards = 0;

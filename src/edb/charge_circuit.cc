@@ -35,13 +35,15 @@ ChargeCircuit::rampTo(double volts, double stop_margin, DoneFn done)
     target = volts;
     margin = stop_margin;
     doneFn = std::move(done);
+    rampStart = now();
+    iterations = 0;
     double reading = adc.sampleVolts(power.voltage());
     if (reading > target + margin) {
         mode = Mode::Discharging;
     } else if (reading < target) {
         mode = Mode::Charging;
     } else {
-        finish();
+        finish(RampResult::Converged);
         return;
     }
     loopEvent =
@@ -59,7 +61,16 @@ ChargeCircuit::controlStep()
                          ? reading <= target + margin
                          : reading >= target;
     if (converged) {
-        finish();
+        finish(RampResult::Converged);
+        return;
+    }
+    // With a faulted supply the level may be unreachable; give up
+    // rather than spin the control loop forever.
+    ++iterations;
+    if (now() - rampStart >= cfg.rampDeadline ||
+        iterations >= cfg.maxIterations) {
+        ++deadlineAborts_;
+        finish(RampResult::DeadlineExceeded);
         return;
     }
     loopEvent =
@@ -67,13 +78,13 @@ ChargeCircuit::controlStep()
 }
 
 void
-ChargeCircuit::finish()
+ChargeCircuit::finish(RampResult result)
 {
     mode = Mode::Off;
     if (doneFn) {
         DoneFn fn = std::move(doneFn);
         doneFn = nullptr;
-        fn();
+        fn(result);
     }
 }
 

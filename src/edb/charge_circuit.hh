@@ -46,13 +46,28 @@ struct ChargeCircuitConfig
      * of the Table 3 discrepancy.
      */
     double restoreStopMargin = 0.062;
+    /**
+     * Give up on a ramp after this long. With a faulted supply (RF
+     * fade, leak) the target level can be unreachable; an unbounded
+     * loop would spin the debugger forever (the hang this replaces).
+     */
+    sim::Tick rampDeadline = 1 * sim::oneSec;
+    /** Secondary bound on control-loop iterations. */
+    std::uint64_t maxIterations = 20'000;
+};
+
+/** How a ramp ended. */
+enum class RampResult
+{
+    Converged,        ///< Reached the requested level.
+    DeadlineExceeded, ///< Gave up (deadline or iteration cap).
 };
 
 /** GPIO-driven charge/discharge circuit with iterative control. */
 class ChargeCircuit : public sim::Component
 {
   public:
-    using DoneFn = std::function<void()>;
+    using DoneFn = std::function<void(RampResult)>;
 
     ChargeCircuit(sim::Simulator &simulator, std::string component_name,
                   energy::PowerSystem &target_power, EdbAdc &adc,
@@ -82,11 +97,14 @@ class ChargeCircuit : public sim::Component
 
     const ChargeCircuitConfig &config() const { return cfg; }
 
+    /** Ramps abandoned on the deadline/iteration guard. */
+    std::uint64_t deadlineAborts() const { return deadlineAborts_; }
+
   private:
     enum class Mode { Off, Charging, Discharging };
 
     void controlStep();
-    void finish();
+    void finish(RampResult result);
 
     energy::PowerSystem &power;
     EdbAdc &adc;
@@ -96,6 +114,9 @@ class ChargeCircuit : public sim::Component
     double margin = 0.0;
     DoneFn doneFn;
     sim::EventId loopEvent = sim::invalidEventId;
+    sim::Tick rampStart = 0;
+    std::uint64_t iterations = 0;
+    std::uint64_t deadlineAborts_ = 0;
 };
 
 } // namespace edb::edbdbg

@@ -34,6 +34,8 @@ EdbAdc::voltsFor(std::uint32_t code) const
 std::uint32_t
 EdbAdc::sampleCode(double volts)
 {
+    if (faultHook)
+        volts = faultHook(volts);
     return codeFor(volts + rng.gaussian(cfg.noiseSigmaVolts));
 }
 

@@ -13,6 +13,7 @@
 #define EDB_EDB_EDB_ADC_HH
 
 #include <cstdint>
+#include <functional>
 
 #include "sim/rng.hh"
 
@@ -51,9 +52,20 @@ class EdbAdc
 
     const EdbAdcConfig &config() const { return cfg; }
 
+    /**
+     * Install a fault hook applied to the analog input before
+     * noise/quantization (fault injection: supply glitches, sense
+     * line disturbance). Pass nullptr to remove.
+     */
+    void setFaultHook(std::function<double(double)> hook)
+    {
+        faultHook = std::move(hook);
+    }
+
   private:
     sim::Rng &rng;
     EdbAdcConfig cfg;
+    std::function<double(double)> faultHook;
 };
 
 } // namespace edb::edbdbg

@@ -59,6 +59,7 @@ DebugSession::resume()
 {
     if (!open_)
         return;
+    resumed_ = true;
     board.sessionResume();
 }
 

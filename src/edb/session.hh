@@ -55,8 +55,15 @@ class DebugSession
     /** Vcap recorded when the debugger took over. */
     double savedVolts() const { return savedVolts_; }
 
-    /** True until resume() completes. */
+    /** True until resume() completes or the episode is torn down. */
     bool open() const { return open_; }
+
+    /** True when the episode ended without a completed resume()
+     *  (target death, link declared dead, forced close). */
+    bool aborted() const { return aborted_; }
+
+    /** Why the session aborted ("" when it completed normally). */
+    const std::string &abortReason() const { return abortReason_; }
 
     /// @name Target access (synchronous; pumps the simulator)
     /// @{
@@ -85,6 +92,9 @@ class DebugSession
     std::uint16_t id_;
     double savedVolts_;
     bool open_ = true;
+    bool resumed_ = false;
+    bool aborted_ = false;
+    std::string abortReason_;
 };
 
 } // namespace edb::edbdbg

@@ -16,6 +16,8 @@
 #include <memory>
 #include <vector>
 
+#include "sim/fault.hh"
+
 namespace edb::energy {
 
 /**
@@ -133,6 +135,42 @@ class NullHarvester : public Harvester
   public:
     double currentInto(double, double) const override { return 0.0; }
     double openCircuitVoltage(double) const override { return 0.0; }
+};
+
+/**
+ * Decorator that blanks an underlying harvester during the fade
+ * windows of a `sim::FaultPlan` (RF fades: reader duty cycling,
+ * antenna occlusion). Outside fades — or with injection disabled —
+ * it is transparent.
+ */
+class FadedHarvester : public Harvester
+{
+  public:
+    FadedHarvester(const Harvester &base_harvester,
+                   const sim::FaultInjector &fault_injector)
+        : base(base_harvester), injector(fault_injector)
+    {
+    }
+
+    double
+    currentInto(double cap_volts, double seconds) const override
+    {
+        if (injector.inFadeSeconds(seconds))
+            return 0.0;
+        return base.currentInto(cap_volts, seconds);
+    }
+
+    double
+    openCircuitVoltage(double seconds) const override
+    {
+        if (injector.inFadeSeconds(seconds))
+            return 0.0;
+        return base.openCircuitVoltage(seconds);
+    }
+
+  private:
+    const Harvester &base;
+    const sim::FaultInjector &injector;
 };
 
 } // namespace edb::energy

@@ -46,16 +46,21 @@ mmioEquates()
     equ("CYCLE_HI", m::cycleHi);
     equ("CHKPT_CTL", m::chkptCtl);
     equ("SLEEP", m::sleep);
+    equ("FR_SYNC", proto::syncByte);
     equ("MSG_ASSERT", proto::msgAssertFail);
     equ("MSG_BKPT", proto::msgBkptHit);
     equ("MSG_GUARD_BEGIN", proto::msgGuardBegin);
     equ("MSG_GUARD_END", proto::msgGuardEnd);
     equ("MSG_PRINTF", proto::msgPrintf);
+    equ("MSG_READ_REPLY", proto::msgReadReply);
+    equ("MSG_WRITE_ACK", proto::msgWriteAck);
+    equ("MSG_WAIT_RESTORE", proto::msgWaitRestore);
     equ("ACK_ACTIVE", proto::ackActive);
     equ("ACK_RESTORED", proto::ackRestored);
     equ("CMD_READ", proto::cmdRead);
     equ("CMD_WRITE", proto::cmdWrite);
     equ("CMD_RESUME", proto::cmdResume);
+    equ("CMD_STATUS", proto::cmdStatus);
     return s.str();
 }
 
@@ -73,8 +78,10 @@ std::string
 libedbSource()
 {
     // The target-side half of the debugger protocol. r0-r4 scratch,
-    // r5+ preserved (edb_service_loop and edb_printf save what they
-    // use).
+    // r5+ preserved (routines save what they use). Every message in
+    // both directions travels framed (SYNC | LEN | PAYLOAD | CRC-8);
+    // the last event is kept in FRAM so it can be retransmitted when
+    // the host probes with CMD_STATUS after losing a frame.
     return R"(
 ; ---------------------------------------------------------------
 ; libEDB target-side runtime
@@ -112,30 +119,146 @@ __edb_rx_wait:
     ldw  r0, [r2]
     ret
 
-; __edb_tx_word: transmit r1 as 4 little-endian bytes.
-__edb_tx_word:
+; __edb_crc8: r0 = crc8 step of (crc r1, byte r2); poly 0x07.
+__edb_crc8:
+    xor  r0, r1, r2
+    li   r3, 8
+__edb_crc8_loop:
+    andi r4, r0, 0x80
+    shli r0, r0, 1
+    andi r0, r0, 0xFF
+    cmpi r4, 0
+    beq  __edb_crc8_next
+    xori r0, r0, 0x07
+__edb_crc8_next:
+    addi r3, r3, -1
+    cmpi r3, 0
+    bne  __edb_crc8_loop
+    ret
+
+; __edb_fr_begin: start a TX frame of payload length r1
+; (SYNC, LEN; running CRC seeded over LEN in __edb_txcrc).
+__edb_fr_begin:
     push r5
     mov  r5, r1
-    andi r1, r5, 0xFF
+    li   r1, FR_SYNC
     call __edb_tx
-    shri r1, r5, 8
+    mov  r1, r5
+    call __edb_tx
+    li   r1, 0
+    mov  r2, r5
+    call __edb_crc8
+    la   r2, __edb_txcrc
+    stw  r0, [r2]
+    pop  r5
+    ret
+
+; __edb_fr_byte: transmit payload byte r1 and fold it into the CRC.
+__edb_fr_byte:
+    push r5
+    mov  r5, r1
+    call __edb_tx
+    la   r0, __edb_txcrc
+    ldw  r1, [r0]
+    mov  r2, r5
+    call __edb_crc8
+    la   r2, __edb_txcrc
+    stw  r0, [r2]
+    pop  r5
+    ret
+
+; __edb_fr_end: close the TX frame by sending the CRC.
+__edb_fr_end:
+    la   r0, __edb_txcrc
+    ldw  r1, [r0]
+    call __edb_tx
+    ret
+
+; __edb_fr_word: frame r1 as 4 little-endian payload bytes.
+__edb_fr_word:
+    push r6
+    mov  r6, r1
+    andi r1, r6, 0xFF
+    call __edb_fr_byte
+    shri r1, r6, 8
     andi r1, r1, 0xFF
-    call __edb_tx
-    shri r1, r5, 16
+    call __edb_fr_byte
+    shri r1, r6, 16
     andi r1, r1, 0xFF
-    call __edb_tx
-    shri r1, r5, 24
-    call __edb_tx
+    call __edb_fr_byte
+    shri r1, r6, 24
+    andi r1, r1, 0xFF
+    call __edb_fr_byte
+    pop  r6
+    ret
+
+; __edb_rx_frame: block until one CRC-valid frame arrives; payload
+; lands in __edb_rxbuf, r0 = length. Corrupt frames are discarded
+; and the hunt restarts at the next SYNC, so a damaged command can
+; never be acted on. A frame that lost a byte on the wire slides the
+; NEXT frame's SYNC into this frame's CRC slot; without the resync
+; check below that would also destroy the next frame (its SYNC is
+; consumed, so the hunt eats the whole frame looking for one).
+__edb_rx_frame:
+    push r5
+    push r6
+    push r7
+__edb_rxf_hunt:
+    call __edb_rx
+    cmpi r0, FR_SYNC
+    bne  __edb_rxf_hunt
+__edb_rxf_len:
+    call __edb_rx
+    cmpi r0, FR_SYNC
+    beq  __edb_rxf_len
+    cmpi r0, 0
+    beq  __edb_rxf_hunt
+    cmpi r0, 17
+    bgeu __edb_rxf_hunt
+    mov  r5, r0
+    li   r1, 0
+    mov  r2, r5
+    call __edb_crc8
+    mov  r6, r0
+    li   r7, 0
+__edb_rxf_data:
+    call __edb_rx
+    la   r2, __edb_rxbuf
+    add  r2, r2, r7
+    stb  r0, [r2]
+    mov  r1, r6
+    mov  r2, r0
+    call __edb_crc8
+    mov  r6, r0
+    addi r7, r7, 1
+    cmp  r7, r5
+    bltu __edb_rxf_data
+    call __edb_rx
+    cmp  r0, r6
+    beq  __edb_rxf_done
+    cmpi r0, FR_SYNC
+    beq  __edb_rxf_len
+    br   __edb_rxf_hunt
+__edb_rxf_done:
+    mov  r0, r5
+    pop  r7
+    pop  r6
     pop  r5
     ret
 
 ; __edb_req_ack: raise the debug-request line and wait until the
-; debugger has saved the energy level and engaged tethered power.
+; debugger has saved the energy level and engaged tethered power
+; (a framed ACK_ACTIVE; anything else is ignored).
 __edb_req_ack:
     la   r0, DBGREQ
     li   r4, 1
     stw  r4, [r0]
-    call __edb_rx
+__edb_req_ack_wait:
+    call __edb_rx_frame
+    la   r0, __edb_rxbuf
+    ldb  r0, [r0]
+    cmpi r0, ACK_ACTIVE
+    bne  __edb_req_ack_wait
     ret
 
 ; __edb_req_drop: release the debug-request line.
@@ -145,22 +268,83 @@ __edb_req_drop:
     stw  r4, [r0]
     ret
 
+; __edb_wait_restored: wait for the debugger to discharge the
+; capacitor back to the saved level. A CMD_STATUS probe here means
+; the host lost our event frame: answer MSG_WAIT_RESTORE so it can
+; restore and release us anyway.
+__edb_wait_restored:
+    call __edb_rx_frame
+    la   r0, __edb_rxbuf
+    ldb  r0, [r0]
+    cmpi r0, ACK_RESTORED
+    beq  __edb_wr_done
+    cmpi r0, CMD_STATUS
+    bne  __edb_wait_restored
+    li   r1, 1
+    call __edb_fr_begin
+    li   r1, MSG_WAIT_RESTORE
+    call __edb_fr_byte
+    call __edb_fr_end
+    br   __edb_wait_restored
+__edb_wr_done:
+    ret
+
+; __edb_send_event: (re)transmit the stored event frame
+; [type, id lo, id hi]. Idempotent: CMD_STATUS replays it.
+__edb_send_event:
+    li   r1, 3
+    call __edb_fr_begin
+    la   r0, __edb_last_type
+    ldw  r1, [r0]
+    call __edb_fr_byte
+    la   r0, __edb_last_id
+    ldw  r1, [r0]
+    andi r1, r1, 0xFF
+    call __edb_fr_byte
+    la   r0, __edb_last_id
+    ldw  r1, [r0]
+    shri r1, r1, 8
+    andi r1, r1, 0xFF
+    call __edb_fr_byte
+    call __edb_fr_end
+    ret
+
+; __edb_ld_addr: r5 = little-endian word at __edb_rxbuf+1.
+__edb_ld_addr:
+    la   r0, __edb_rxbuf
+    ldb  r5, [r0 + 1]
+    ldb  r2, [r0 + 2]
+    shli r2, r2, 8
+    or   r5, r5, r2
+    ldb  r2, [r0 + 3]
+    shli r2, r2, 16
+    or   r5, r5, r2
+    ldb  r2, [r0 + 4]
+    shli r2, r2, 24
+    or   r5, r5, r2
+    ret
+
 ; edb_service_loop: interactive-session command servicing. The
 ; debugger reads and writes the live target address space through
 ; these commands (paper: "full access to view and modify the
-; target's memory").
+; target's memory"). Every reply is framed and writes are
+; acknowledged, so the host can detect loss and retry.
 edb_service_loop:
     push r5
     push r6
     push r7
 __edb_svc_next:
-    call __edb_rx
+    call __edb_rx_frame
+    la   r0, __edb_rxbuf
+    ldb  r0, [r0]
     cmpi r0, CMD_RESUME
     beq  __edb_svc_done
     cmpi r0, CMD_READ
     beq  __edb_svc_read
     cmpi r0, CMD_WRITE
     beq  __edb_svc_write
+    cmpi r0, CMD_STATUS
+    beq  __edb_svc_status
     br   __edb_svc_next
 __edb_svc_done:
     pop  r7
@@ -168,59 +352,67 @@ __edb_svc_done:
     pop  r5
     ret
 
-__edb_svc_addr:            ; read 4 bytes LE into r5
-    call __edb_rx
-    mov  r5, r0
-    call __edb_rx
-    shli r0, r0, 8
-    or   r5, r5, r0
-    call __edb_rx
-    shli r0, r0, 16
-    or   r5, r5, r0
-    call __edb_rx
-    shli r0, r0, 24
-    or   r5, r5, r0
-    ret
+__edb_svc_status:          ; host lost our event frame: replay it
+    call __edb_send_event
+    br   __edb_svc_next
 
-__edb_svc_read:            ; addr(4), len(2); reply raw bytes
-    call __edb_svc_addr
-    call __edb_rx
-    mov  r6, r0
-    call __edb_rx
-    shli r0, r0, 8
-    or   r6, r6, r0
+__edb_svc_read:            ; [cmd, addr(4), len(2)] -> framed reply
+    call __edb_ld_addr
+    la   r0, __edb_rxbuf
+    ldb  r6, [r0 + 5]
+    ldb  r2, [r0 + 6]
+    shli r2, r2, 8
+    or   r6, r6, r2
+    mov  r1, r6
+    addi r1, r1, 1
+    call __edb_fr_begin
+    li   r1, MSG_READ_REPLY
+    call __edb_fr_byte
 __edb_svc_read_loop:
     cmpi r6, 0
-    beq  __edb_svc_next
+    beq  __edb_svc_read_done
     ldb  r1, [r5]
-    call __edb_tx
+    call __edb_fr_byte
     addi r5, r5, 1
     addi r6, r6, -1
     br   __edb_svc_read_loop
+__edb_svc_read_done:
+    call __edb_fr_end
+    br   __edb_svc_next
 
-__edb_svc_write:           ; addr(4), value(4)
-    call __edb_svc_addr
+__edb_svc_write:           ; [cmd, addr(4), value(4)] -> framed ack
+    call __edb_ld_addr
     mov  r7, r5
-    call __edb_svc_addr
+    la   r0, __edb_rxbuf
+    ldb  r5, [r0 + 5]
+    ldb  r2, [r0 + 6]
+    shli r2, r2, 8
+    or   r5, r5, r2
+    ldb  r2, [r0 + 7]
+    shli r2, r2, 16
+    or   r5, r5, r2
+    ldb  r2, [r0 + 8]
+    shli r2, r2, 24
+    or   r5, r5, r2
     stw  r5, [r7]
+    li   r1, 1
+    call __edb_fr_begin
+    li   r1, MSG_WRITE_ACK
+    call __edb_fr_byte
+    call __edb_fr_end
     br   __edb_svc_next
 
 ; assert(expr) failure path: keep-alive -- the debugger tethers the
 ; target before it can brown out, then opens an interactive session
 ; (paper section 3.3.2).
 edb_assert_fail:           ; r1 = assert id
-    push r1
+    la   r0, __edb_last_id
+    stw  r1, [r0]
+    la   r0, __edb_last_type
+    li   r2, MSG_ASSERT
+    stw  r2, [r0]
     call __edb_req_ack
-    li   r1, MSG_ASSERT
-    call __edb_tx
-    pop  r1
-    push r1
-    andi r1, r1, 0xFF
-    call __edb_tx
-    pop  r1
-    shri r1, r1, 8
-    andi r1, r1, 0xFF
-    call __edb_tx
+    call __edb_send_event
     call edb_service_loop
     call __edb_req_drop
     ret
@@ -235,21 +427,15 @@ edb_breakpoint:            ; r1 = breakpoint id
     andi r0, r0, 1
     cmpi r0, 0
     beq  __edb_bkpt_skip
-    push r1
+    la   r0, __edb_last_id
+    stw  r1, [r0]
+    la   r0, __edb_last_type
+    li   r2, MSG_BKPT
+    stw  r2, [r0]
     call __edb_req_ack
-    li   r1, MSG_BKPT
-    call __edb_tx
-    pop  r1
-    push r1
-    andi r1, r1, 0xFF
-    call __edb_tx
-    pop  r1
-    shri r1, r1, 8
-    andi r1, r1, 0xFF
-    call __edb_tx
+    call __edb_send_event
     call edb_service_loop
     call __edb_req_drop
-    ret
 __edb_bkpt_skip:
     ret
 
@@ -257,16 +443,22 @@ __edb_bkpt_skip:
 ; runs on tethered power (paper section 3.3.3).
 edb_energy_guard_begin:
     call __edb_req_ack
+    li   r1, 1
+    call __edb_fr_begin
     li   r1, MSG_GUARD_BEGIN
-    call __edb_tx
+    call __edb_fr_byte
+    call __edb_fr_end
     ret
 
 ; energy_guard(end): debugger discharges the capacitor back to the
 ; recorded level before releasing the target.
 edb_energy_guard_end:
+    li   r1, 1
+    call __edb_fr_begin
     li   r1, MSG_GUARD_END
-    call __edb_tx
-    call __edb_rx
+    call __edb_fr_byte
+    call __edb_fr_end
+    call __edb_wait_restored
     call __edb_req_drop
     ret
 
@@ -276,31 +468,48 @@ edb_printf:                ; r1 = fmt, r2 = nargs, r3 = argv
     push r5
     push r6
     push r7
+    push r8
     mov  r5, r1
     mov  r6, r2
     mov  r7, r3
     call __edb_req_ack
+    li   r8, 0
+    mov  r2, r5
+__edb_pf_len:              ; r8 = strlen(fmt)
+    ldb  r0, [r2]
+    cmpi r0, 0
+    beq  __edb_pf_len_done
+    addi r8, r8, 1
+    addi r2, r2, 1
+    br   __edb_pf_len
+__edb_pf_len_done:
+    shli r1, r6, 2         ; payload = type+nargs + 4*nargs + fmt+NUL
+    add  r1, r1, r8
+    addi r1, r1, 3
+    call __edb_fr_begin
     li   r1, MSG_PRINTF
-    call __edb_tx
+    call __edb_fr_byte
     mov  r1, r6
-    call __edb_tx
+    call __edb_fr_byte
 __edb_pf_args:
     cmpi r6, 0
     beq  __edb_pf_str
     ldw  r1, [r7]
-    call __edb_tx_word
+    call __edb_fr_word
     addi r7, r7, 4
     addi r6, r6, -1
     br   __edb_pf_args
 __edb_pf_str:
     ldb  r1, [r5]
-    call __edb_tx
+    call __edb_fr_byte
     ldb  r0, [r5]
     addi r5, r5, 1
     cmpi r0, 0
     bne  __edb_pf_str
-    call __edb_rx
+    call __edb_fr_end
+    call __edb_wait_restored
     call __edb_req_drop
+    pop  r8
     pop  r7
     pop  r6
     pop  r5
@@ -314,13 +523,14 @@ edb_dbg_isr:
     push r2
     push r3
     push r4
+    la   r0, __edb_last_type
+    li   r2, MSG_BKPT
+    stw  r2, [r0]
+    la   r0, __edb_last_id
+    la   r2, 0xFFFF
+    stw  r2, [r0]
     call __edb_req_ack
-    li   r1, MSG_BKPT
-    call __edb_tx
-    li   r1, 0xFF
-    call __edb_tx
-    li   r1, 0xFF
-    call __edb_tx
+    call __edb_send_event
     call edb_service_loop
     call __edb_req_drop
     pop  r4
@@ -329,6 +539,14 @@ edb_dbg_isr:
     pop  r1
     pop  r0
     reti
+
+; Link-layer state (FRAM; survives brown-out so CMD_STATUS can
+; replay the last event even across a reboot).
+.align
+__edb_txcrc:     .word 0
+__edb_last_type: .word 0
+__edb_last_id:   .word 0
+__edb_rxbuf:     .space 16
 )";
 }
 

@@ -1,0 +1,98 @@
+#include "sim/fault.hh"
+
+namespace edb::sim {
+
+FaultInjector::FaultInjector(Simulator &simulator,
+                             std::string component_name,
+                             FaultPlan fault_plan)
+    : Component(simulator, std::move(component_name)),
+      plan_(std::move(fault_plan)),
+      rng(plan_.seed)
+{
+}
+
+FaultInjector::WireResult
+FaultInjector::onWire(std::uint8_t byte)
+{
+    WireResult r;
+    r.bytes[0] = byte;
+    if (!plan_.enabled)
+        return r;
+    ++stats_.wireBytes;
+    if (rng.chance(plan_.uartDropProb)) {
+        ++stats_.dropped;
+        r.count = 0;
+        return r;
+    }
+    if (rng.chance(plan_.uartCorruptProb)) {
+        ++stats_.corrupted;
+        r.bytes[0] =
+            byte ^ static_cast<std::uint8_t>(
+                       1u << rng.uniformInt(0, 7));
+    }
+    if (rng.chance(plan_.uartDupProb)) {
+        ++stats_.duplicated;
+        r.bytes[1] = r.bytes[0];
+        r.count = 2;
+    }
+    return r;
+}
+
+double
+FaultInjector::onAdc(double volts)
+{
+    if (!plan_.enabled || !rng.chance(plan_.adcGlitchProb))
+        return volts;
+    ++stats_.adcGlitches;
+    return volts + rng.uniform(-plan_.adcGlitchMagnitudeVolts,
+                               plan_.adcGlitchMagnitudeVolts);
+}
+
+bool
+FaultInjector::inFade(Tick when) const
+{
+    if (!plan_.enabled)
+        return false;
+    for (const auto &w : plan_.fades) {
+        if (when >= w.start && when < w.start + w.length)
+            return true;
+    }
+    return false;
+}
+
+bool
+FaultInjector::inFadeSeconds(double seconds) const
+{
+    return inFade(ticksFromSeconds(seconds));
+}
+
+void
+FaultInjector::armBrownOuts(std::function<void()> fire)
+{
+    brownOutFn = std::move(fire);
+    if (!plan_.enabled)
+        return;
+    for (Tick at : plan_.brownOutAtTick) {
+        if (at < now())
+            continue;
+        sim().schedule(at, [this] {
+            ++stats_.brownOutsForced;
+            if (brownOutFn)
+                brownOutFn();
+        });
+    }
+}
+
+void
+FaultInjector::onInstruction()
+{
+    if (!plan_.enabled || plan_.brownOutAtInstr == 0)
+        return;
+    if (++instrCount == plan_.brownOutAtInstr) {
+        ++stats_.brownOutsForced;
+        if (brownOutFn)
+            brownOutFn();
+    }
+}
+
+} // namespace edb::sim

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Deterministic fault injection.
+ *
+ * A `FaultInjector` perturbs a running simulation according to a
+ * `FaultPlan`: corrupting, dropping or duplicating debug-UART bytes,
+ * glitching EDB's ADC samples, blanking the harvester during RF fade
+ * windows, and forcing target brown-outs at chosen ticks or
+ * instruction counts. Each plan carries its own seed and the injector
+ * owns a private `Rng`, so fault sequences are reproducible and,
+ * crucially, an injector that is disabled (or absent) perturbs
+ * nothing — not even the simulator's shared random stream.
+ *
+ * The injector is deliberately generic: it knows nothing about
+ * energy, UARTs or MCUs. Subsystems opt in by routing values through
+ * its hooks (`EdbBoard::injectFaults`, `energy::FadedHarvester`, an
+ * MCU tracer calling `onInstruction`).
+ */
+
+#ifndef EDB_SIM_FAULT_HH
+#define EDB_SIM_FAULT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/simulator.hh"
+#include "sim/time.hh"
+
+namespace edb::sim {
+
+/** A window during which the ambient energy source is gone. */
+struct FadeWindow
+{
+    Tick start = 0;
+    Tick length = 0;
+};
+
+/** Everything a fault scenario is allowed to do, plus its seed. */
+struct FaultPlan
+{
+    /** Seeds the injector's private random stream. */
+    std::uint64_t seed = 1;
+    /** Master switch; a disabled plan injects nothing. */
+    bool enabled = true;
+
+    /// @name Debug-UART wire faults (per byte, either direction)
+    /// @{
+    double uartCorruptProb = 0.0; ///< Flip a random bit.
+    double uartDropProb = 0.0;    ///< Byte never arrives.
+    double uartDupProb = 0.0;     ///< Byte delivered twice.
+    /// @}
+
+    /// @name EDB ADC faults (per sample)
+    /// @{
+    double adcGlitchProb = 0.0;
+    double adcGlitchMagnitudeVolts = 0.5; ///< Max |offset| injected.
+    /// @}
+
+    /** Harvester dropout windows (RF fades). */
+    std::vector<FadeWindow> fades;
+
+    /** Force a target brown-out at each of these ticks. */
+    std::vector<Tick> brownOutAtTick;
+    /** Force a brown-out at this retired-instruction count (0 = off). */
+    std::uint64_t brownOutAtInstr = 0;
+};
+
+/** Executes a FaultPlan against a simulation. */
+class FaultInjector : public Component
+{
+  public:
+    /** What became of one wire byte. */
+    struct WireResult
+    {
+        std::uint8_t bytes[2] = {0, 0};
+        int count = 1; ///< 0 dropped, 1 delivered, 2 duplicated.
+    };
+
+    struct Stats
+    {
+        std::uint64_t wireBytes = 0;
+        std::uint64_t corrupted = 0;
+        std::uint64_t dropped = 0;
+        std::uint64_t duplicated = 0;
+        std::uint64_t adcGlitches = 0;
+        std::uint64_t brownOutsForced = 0;
+    };
+
+    FaultInjector(Simulator &simulator, std::string component_name,
+                  FaultPlan fault_plan = {});
+
+    bool enabled() const { return plan_.enabled; }
+    const FaultPlan &plan() const { return plan_; }
+
+    /**
+     * Pass one debug-UART byte through the wire-fault model.
+     * Returns the byte(s) to actually deliver (possibly corrupted,
+     * dropped or duplicated).
+     */
+    WireResult onWire(std::uint8_t byte);
+
+    /** Pass one EDB ADC sample (volts) through the glitch model. */
+    double onAdc(double volts);
+
+    /** True while `when` falls inside a fade window. */
+    bool inFade(Tick when) const;
+    /** Fade check in the seconds domain (harvester models). */
+    bool inFadeSeconds(double seconds) const;
+
+    /**
+     * Schedule the plan's tick-based brown-outs; `fire` runs at each
+     * configured tick (typically dropping the target's capacitor
+     * below the brown-out threshold).
+     */
+    void armBrownOuts(std::function<void()> fire);
+
+    /**
+     * Count one retired instruction; fires the armed brown-out
+     * callback when the count reaches `plan.brownOutAtInstr`. Call
+     * from an MCU tracer.
+     */
+    void onInstruction();
+
+    const Stats &stats() const { return stats_; }
+
+  private:
+    FaultPlan plan_;
+    /** Private stream: never the simulator's shared RNG, so an
+     *  enabled-but-idle injector cannot perturb other models. */
+    Rng rng;
+    std::function<void()> brownOutFn;
+    std::uint64_t instrCount = 0;
+    Stats stats_;
+};
+
+} // namespace edb::sim
+
+#endif // EDB_SIM_FAULT_HH

@@ -1,0 +1,88 @@
+#include "target/wisp.hh"
+
+#include "rfid/channel.hh"
+
+namespace edb::target {
+
+Wisp::Wisp(sim::Simulator &simulator, std::string component_name,
+           const energy::Harvester *harvester,
+           rfid::RfChannel *channel, WispConfig config)
+    : sim::Component(simulator, std::move(component_name)),
+      cfg(config),
+      cursor(simulator),
+      power_(simulator, name() + ".power", cfg.power, harvester),
+      sram(name() + ".sram", layout::sramBase, layout::sramSize,
+           mem::RegionKind::Sram),
+      fram(name() + ".fram", layout::framBase, layout::framSize,
+           mem::RegionKind::Fram),
+      mmio(name() + ".mmio", layout::mmioBase, layout::mmioSize),
+      gpio_(simulator, name() + ".gpio", cursor),
+      uart_(simulator, name() + ".uart0", cursor, power_, cfg.uart),
+      i2c_(simulator, name() + ".i2c", cursor, power_, cfg.i2c),
+      adc_(simulator, name() + ".adc", cursor, power_, cfg.adc),
+      led_(simulator, name() + ".led", power_, cfg.ledAmps),
+      debugPort_(simulator, name() + ".dbg", cursor, power_,
+                 cfg.debug),
+      accel_(simulator, name() + ".accel", cfg.accel),
+      core(simulator, name() + ".mcu", cursor, map, power_, cfg.mcu)
+{
+    // Address space: NULL page unmapped (wild NULL-derived accesses
+    // fault, paper Fig 3), SRAM, FRAM, peripheral page.
+    map.addRegion(&sram);
+    map.addRegion(&fram);
+    map.addRegion(&mmio);
+
+    // Peripheral registers.
+    namespace m = mcu::mmio;
+    gpio_.installMmio(mmio);
+    uart_.installMmio(mmio, m::uart0Tx, m::uart0Status, m::uart0Rx);
+    i2c_.installMmio(mmio);
+    adc_.installMmio(mmio);
+    led_.installMmio(mmio);
+    debugPort_.installMmio(mmio);
+    core.installMmio(mmio);
+
+    // ADC channel 0 senses the storage capacitor (self-measurement,
+    // the energy-costly path the paper contrasts with EDB).
+    adc_.addChannel(0, [this] { return power_.voltage(); });
+
+    // Sensor bus.
+    i2c_.attach(&accel_);
+
+    // Optional RFID air interface.
+    if (channel) {
+        rf_ = std::make_unique<rfid::RfFrontend>(
+            simulator, name() + ".rf", cursor, power_, *channel,
+            cfg.rf);
+        rf_->installMmio(mmio);
+        channel->attachTag(rf_.get());
+    }
+
+    // A brown-out destroys volatile state: SRAM decays and every
+    // peripheral resets (outputs low, FIFOs cleared).
+    core.setResetHook([this] {
+        sram.powerLoss();
+        gpio_.powerLost();
+        uart_.powerLost();
+        i2c_.powerLost();
+        adc_.powerLost();
+        led_.powerLost();
+        debugPort_.powerLost();
+        if (rf_)
+            rf_->powerLost();
+    });
+}
+
+void
+Wisp::flash(const isa::Program &program)
+{
+    core.loadProgram(program);
+}
+
+void
+Wisp::start()
+{
+    power_.start();
+}
+
+} // namespace edb::target

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The simulated target device: a WISP 5 class energy-harvesting
+ * platform (paper Section 5.1).
+ *
+ * `Wisp` assembles the MCU core, memories, power system, peripherals,
+ * RF front end and accelerometer into one device with the WISP 5
+ * electrical constants: a 47 uF storage capacitor, 2.4 V turn-on and
+ * 1.8 V brown-out comparators, and an MSP430-like core drawing
+ * ~0.5 mA at 4 MHz.
+ *
+ * Memory layout (`target::layout`): the NULL page is intentionally
+ * unmapped so wild NULL-derived accesses fault (paper Fig 3's
+ * corruption case study); volatile SRAM sits below the stack top,
+ * and non-volatile FRAM holds code, application data and the
+ * checkpoint slots.
+ */
+
+#ifndef EDB_TARGET_WISP_HH
+#define EDB_TARGET_WISP_HH
+
+#include <memory>
+#include <string>
+
+#include "energy/harvester.hh"
+#include "energy/power_system.hh"
+#include "isa/program.hh"
+#include "mcu/adc.hh"
+#include "mcu/debug_port.hh"
+#include "mcu/gpio.hh"
+#include "mcu/i2c.hh"
+#include "mcu/led.hh"
+#include "mcu/mcu.hh"
+#include "mcu/mmio_map.hh"
+#include "mcu/uart.hh"
+#include "mem/memory.hh"
+#include "rfid/frontend.hh"
+#include "sensors/accelerometer.hh"
+#include "sim/simulator.hh"
+#include "sim/time_cursor.hh"
+
+namespace edb::rfid {
+class RfChannel;
+}
+
+namespace edb::target {
+
+/** Fixed address-space layout of the device. */
+namespace layout {
+/** Volatile SRAM (the NULL page below it is unmapped). */
+constexpr mem::Addr sramBase = 0x0400;
+constexpr mem::Addr sramSize = 0x3C00;
+/** Initial stack pointer: the top of SRAM. */
+constexpr mem::Addr stackTop = sramBase + sramSize;
+/** Non-volatile FRAM: code, data, checkpoint slots. */
+constexpr mem::Addr framBase = 0x4000;
+constexpr mem::Addr framSize = 0xB000;
+/** Peripheral page. */
+constexpr mem::Addr mmioBase = mcu::mmio::base;
+constexpr mem::Addr mmioSize = mcu::mmio::size;
+} // namespace layout
+
+/** Aggregate configuration of the device (WISP 5 defaults). */
+struct WispConfig
+{
+    energy::PowerSystemConfig power = {};
+    mcu::McuConfig mcu = {};
+    /** Console UART (the energy-expensive printf path). */
+    mcu::UartConfig uart = {};
+    mcu::I2cConfig i2c = {};
+    mcu::AdcConfig adc = {};
+    mcu::DebugPortConfig debug = {};
+    rfid::RfFrontendConfig rf = {};
+    sensors::AccelConfig accel = {};
+    /** LED current while lit (paper Section 2.2: ~5x the MCU). */
+    double ledAmps = 4.0e-3;
+};
+
+/** The assembled target device. */
+class Wisp : public sim::Component
+{
+  public:
+    /**
+     * @param harvester Ambient energy source (non-owning).
+     * @param channel Optional RFID air interface; when present the
+     *        tag front end is instantiated and attached.
+     */
+    Wisp(sim::Simulator &simulator, std::string component_name,
+         const energy::Harvester *harvester,
+         rfid::RfChannel *channel = nullptr, WispConfig config = {});
+
+    /** Flash a program image (invalidates stale checkpoints). */
+    void flash(const isa::Program &program);
+
+    /** Begin the power system's self-ticking; call once. */
+    void start();
+
+    /// @name Subsystem access
+    /// @{
+    mcu::Mcu &mcu() { return core; }
+    const mcu::Mcu &mcu() const { return core; }
+    energy::PowerSystem &power() { return power_; }
+    mem::MemoryMap &memoryMap() { return map; }
+    mcu::Gpio &gpio() { return gpio_; }
+    mcu::Uart &uart() { return uart_; }
+    mcu::I2cController &i2c() { return i2c_; }
+    mcu::Adc &adc() { return adc_; }
+    mcu::Led &led() { return led_; }
+    mcu::DebugPort &debugPort() { return debugPort_; }
+    sensors::Accelerometer &accelerometer() { return accel_; }
+    /** RF front end; nullptr when built without an air interface. */
+    rfid::RfFrontend *rf() { return rf_.get(); }
+    /// @}
+
+    /** Core lifecycle state. */
+    mcu::McuState state() const { return core.state(); }
+
+    /** Storage-capacitor voltage (advances the analog model). */
+    double voltage() { return power_.voltage(); }
+
+    const WispConfig &config() const { return cfg; }
+
+  private:
+    WispConfig cfg;
+    sim::TimeCursor cursor;
+    energy::PowerSystem power_;
+    mem::Ram sram;
+    mem::Ram fram;
+    mem::MmioRegion mmio;
+    mem::MemoryMap map;
+    mcu::Gpio gpio_;
+    mcu::Uart uart_;
+    mcu::I2cController i2c_;
+    mcu::Adc adc_;
+    mcu::Led led_;
+    mcu::DebugPort debugPort_;
+    sensors::Accelerometer accel_;
+    std::unique_ptr<rfid::RfFrontend> rf_;
+    mcu::Mcu core;
+};
+
+} // namespace edb::target
+
+#endif // EDB_TARGET_WISP_HH

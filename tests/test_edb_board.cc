@@ -134,7 +134,7 @@ TEST(ChargeCircuit, ChargesUpToTarget)
     ChargeRig rig(1.0);
     bool done = false;
     double v_at_done = 0.0;
-    rig.circuit->rampTo(2.4, 0.0, [&] {
+    rig.circuit->rampTo(2.4, 0.0, [&](RampResult) {
         done = true;
         v_at_done = rig.power->voltageNoAdvance();
     });
@@ -151,7 +151,7 @@ TEST(ChargeCircuit, DischargesDownToTarget)
     ChargeRig rig(2.9);
     bool done = false;
     double v_at_done = 0.0;
-    rig.circuit->rampTo(2.0, 0.0, [&] {
+    rig.circuit->rampTo(2.0, 0.0, [&](RampResult) {
         done = true;
         v_at_done = rig.power->voltageNoAdvance();
     });
@@ -165,7 +165,7 @@ TEST(ChargeCircuit, StopMarginLeavesPositiveBias)
     ChargeRig rig(2.9);
     bool done = false;
     double v_at_done = 0.0;
-    rig.circuit->rampTo(2.0, 0.06, [&] {
+    rig.circuit->rampTo(2.0, 0.06, [&](RampResult) {
         done = true;
         v_at_done = rig.power->voltageNoAdvance();
     });
@@ -179,7 +179,8 @@ TEST(ChargeCircuit, AlreadyAtTargetCompletesQuickly)
 {
     ChargeRig rig(2.2);
     bool done = false;
-    rig.circuit->rampTo(2.2, 0.05, [&done] { done = true; });
+    rig.circuit->rampTo(2.2, 0.05,
+                        [&done](RampResult) { done = true; });
     // ADC noise may demand one or two control iterations.
     rig.sim.runFor(5 * sim::oneMs);
     EXPECT_TRUE(done);
@@ -189,7 +190,8 @@ TEST(ChargeCircuit, AbortCancelsWithoutCallback)
 {
     ChargeRig rig(2.9);
     bool done = false;
-    rig.circuit->rampTo(1.9, 0.0, [&done] { done = true; });
+    rig.circuit->rampTo(1.9, 0.0,
+                        [&done](RampResult) { done = true; });
     rig.sim.runFor(2 * sim::oneMs);
     rig.circuit->abort();
     rig.sim.runFor(sim::oneSec);
@@ -214,6 +216,14 @@ TEST(ChargeCircuit, InactiveCircuitIsHighImpedance)
     EXPECT_NEAR(with_circuit.power->voltage(), bare.voltage(), 1e-6);
 }
 
+void
+feedFrame(ProtocolEngine &engine,
+          const std::vector<std::uint8_t> &payload)
+{
+    for (std::uint8_t b : buildFrame(payload))
+        engine.onByte(b);
+}
+
 TEST(ProtocolEngine, ParsesAssertFrame)
 {
     ProtocolEngine engine;
@@ -221,12 +231,14 @@ TEST(ProtocolEngine, ParsesAssertFrame)
     engine.handlers.assertFail = [&got](std::uint16_t id) {
         got = id;
     };
-    engine.onByte(proto::msgAssertFail);
+    auto frame = buildFrame({proto::msgAssertFail, 0x34, 0x12});
+    for (std::size_t i = 0; i + 1 < frame.size(); ++i)
+        engine.onByte(frame[i]);
     EXPECT_TRUE(engine.midFrame());
-    engine.onByte(0x34);
-    engine.onByte(0x12);
+    engine.onByte(frame.back()); // CRC completes the frame
     EXPECT_EQ(got, 0x1234u);
     EXPECT_FALSE(engine.midFrame());
+    EXPECT_EQ(engine.stats().framesOk, 1u);
 }
 
 TEST(ProtocolEngine, ParsesGuardAndBkptFrames)
@@ -239,11 +251,9 @@ TEST(ProtocolEngine, ParsesGuardAndBkptFrames)
     engine.handlers.bkptHit = [&bkpt](std::uint16_t id) {
         bkpt = id;
     };
-    engine.onByte(proto::msgGuardBegin);
-    engine.onByte(proto::msgGuardEnd);
-    engine.onByte(proto::msgBkptHit);
-    engine.onByte(0xFF);
-    engine.onByte(0xFF);
+    feedFrame(engine, {proto::msgGuardBegin});
+    feedFrame(engine, {proto::msgGuardEnd});
+    feedFrame(engine, {proto::msgBkptHit, 0xFF, 0xFF});
     EXPECT_EQ(begins, 1);
     EXPECT_EQ(ends, 1);
     EXPECT_EQ(bkpt, proto::energyBkptId);
@@ -256,16 +266,16 @@ TEST(ProtocolEngine, ParsesPrintfWithArgs)
     engine.handlers.printfText = [&text](const std::string &s) {
         text = s;
     };
-    engine.onByte(proto::msgPrintf);
-    engine.onByte(2); // nargs
+    std::vector<std::uint8_t> payload{proto::msgPrintf, 2};
     for (std::uint32_t arg : {42u, 0xFFFFFFF9u}) {
         for (int b = 0; b < 4; ++b)
-            engine.onByte(
+            payload.push_back(
                 static_cast<std::uint8_t>(arg >> (8 * b)));
     }
     for (char c : std::string("v=%u s=%d!"))
-        engine.onByte(static_cast<std::uint8_t>(c));
-    engine.onByte(0);
+        payload.push_back(static_cast<std::uint8_t>(c));
+    payload.push_back(0);
+    feedFrame(engine, payload);
     EXPECT_EQ(text, "v=42 s=-7!");
 }
 
@@ -276,23 +286,95 @@ TEST(ProtocolEngine, IgnoresStrayBytes)
     engine.handlers.guardBegin = [&events] { ++events; };
     engine.onByte(0xEE);
     engine.onByte(0x00);
-    engine.onByte(proto::msgGuardBegin);
+    feedFrame(engine, {proto::msgGuardBegin});
     EXPECT_EQ(events, 1);
+    EXPECT_EQ(engine.stats().strayBytes, 2u);
+}
+
+TEST(ProtocolEngine, RejectsBadCrc)
+{
+    ProtocolEngine engine;
+    int events = 0;
+    engine.handlers.guardBegin = [&events] { ++events; };
+    auto frame = buildFrame({proto::msgGuardBegin});
+    frame.back() ^= 0x01; // corrupt the CRC
+    for (std::uint8_t b : frame)
+        engine.onByte(b);
+    EXPECT_EQ(events, 0);
+    EXPECT_EQ(engine.stats().crcErrors, 1u);
+    feedFrame(engine, {proto::msgGuardBegin}); // parser recovered
+    EXPECT_EQ(events, 1);
+}
+
+TEST(ProtocolEngine, DroppedByteCannotDestroyTheNextFrame)
+{
+    // A frame that loses one byte on the wire slides the NEXT
+    // frame's SYNC into its CRC slot. The parser must recognise
+    // that and resume at the following length byte, so one lost
+    // byte costs exactly one frame.
+    ProtocolEngine engine;
+    int begins = 0;
+    engine.handlers.guardBegin = [&begins] { ++begins; };
+    auto damaged = buildFrame({proto::msgGuardEnd});
+    damaged.erase(damaged.begin() + 2); // drop the payload byte
+    for (std::uint8_t b : damaged)
+        engine.onByte(b);
+    feedFrame(engine, {proto::msgGuardBegin}); // back-to-back frame
+    EXPECT_EQ(begins, 1);
+    EXPECT_EQ(engine.stats().crcErrors, 1u);
+    EXPECT_EQ(engine.stats().resyncs, 1u);
+}
+
+TEST(ProtocolEngine, RepeatedSyncBytesPrecedeAFrame)
+{
+    ProtocolEngine engine;
+    int begins = 0;
+    engine.handlers.guardBegin = [&begins] { ++begins; };
+    engine.onByte(proto::syncByte); // idle fill
+    engine.onByte(proto::syncByte);
+    feedFrame(engine, {proto::msgGuardBegin});
+    EXPECT_EQ(begins, 1);
 }
 
 TEST(ProtocolEngine, ResetDropsPartialFrame)
 {
     ProtocolEngine engine;
     std::uint16_t got = 99;
+    int begins = 0;
     engine.handlers.assertFail = [&got](std::uint16_t id) {
         got = id;
     };
-    engine.onByte(proto::msgAssertFail);
-    engine.onByte(0x01);
+    engine.handlers.guardBegin = [&begins] { ++begins; };
+    auto partial = buildFrame({proto::msgAssertFail, 0x01, 0x00});
+    for (std::size_t i = 0; i < 3; ++i) // sync, len, one byte
+        engine.onByte(partial[i]);
+    EXPECT_TRUE(engine.midFrame());
     engine.reset();
     EXPECT_FALSE(engine.midFrame());
-    engine.onByte(proto::msgGuardBegin); // parses cleanly
+    feedFrame(engine, {proto::msgGuardBegin}); // parses cleanly
+    EXPECT_EQ(begins, 1);
     EXPECT_EQ(got, 99u);
+}
+
+TEST(ProtocolEngine, InterByteTimeoutResyncs)
+{
+    ProtocolEngine engine;
+    engine.setInterByteTimeout(2 * sim::oneMs);
+    std::uint16_t got = 0;
+    engine.handlers.assertFail = [&got](std::uint16_t id) {
+        got = id;
+    };
+    auto frame = buildFrame({proto::msgAssertFail, 0x34, 0x12});
+    sim::Tick t = 0;
+    // Deliver half the frame, stall past the timeout, then deliver
+    // a fresh complete frame: the stale prefix must be discarded.
+    for (std::size_t i = 0; i < 3; ++i)
+        engine.onByte(frame[i], t += 10 * sim::oneUs);
+    t += 10 * sim::oneMs; // link stall
+    for (std::uint8_t b : frame)
+        engine.onByte(b, t += 10 * sim::oneUs);
+    EXPECT_EQ(got, 0x1234u);
+    EXPECT_GE(engine.stats().resyncs, 1u);
 }
 
 struct FormatCase
