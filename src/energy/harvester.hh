@@ -39,6 +39,22 @@ class Harvester
 
     /** Open-circuit voltage: the asymptotic charge level. */
     virtual double openCircuitVoltage(double seconds) const = 0;
+
+    /**
+     * Constant-Thevenin snapshot: harvesters whose currentInto is
+     * `max(0, (voc - v) / rsrc)` with *time-invariant* parameters may
+     * report them here, letting the integrator inline the arithmetic
+     * instead of making a virtual call per sub-step. Harvesters with
+     * any time-varying behaviour (fades, carrier gating, profiles)
+     * must return false. Default: false.
+     */
+    virtual bool
+    theveninParams(double &voc, double &rsrc) const
+    {
+        (void)voc;
+        (void)rsrc;
+        return false;
+    }
 };
 
 /** Fixed Thevenin source: Voc behind Rsrc. */
@@ -49,6 +65,14 @@ class TheveninHarvester : public Harvester
 
     double currentInto(double cap_volts, double seconds) const override;
     double openCircuitVoltage(double seconds) const override;
+
+    bool
+    theveninParams(double &voc, double &rsrc) const override
+    {
+        voc = voc_;
+        rsrc = rsrc_;
+        return true;
+    }
 
     double voc() const { return voc_; }
     double rsrc() const { return rsrc_; }

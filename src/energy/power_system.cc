@@ -23,6 +23,9 @@ PowerSystem::PowerSystem(sim::Simulator &simulator,
         sim::fatal("PowerSystem: harvester must not be null");
     powered = cap.voltage() >= cfg.turnOnVolts;
     lastUpdate = simulator.now();
+    maxStepSeconds = sim::secondsFromTicks(cfg.maxStep);
+    noiseEnabled = cfg.harvestNoiseSigma > 0.0;
+    refreshFlatSource();
 }
 
 void
@@ -46,6 +49,7 @@ PowerSystem::addLoad(std::string load_name, double amps, bool enabled)
 {
     advanceTo(now());
     loads.push_back(Load{std::move(load_name), amps, enabled});
+    invalidateLoadSum();
     return loads.size() - 1;
 }
 
@@ -54,6 +58,7 @@ PowerSystem::setLoadCurrent(LoadHandle handle, double amps)
 {
     advanceTo(now());
     loads.at(handle).amps = amps;
+    invalidateLoadSum();
 }
 
 void
@@ -61,6 +66,7 @@ PowerSystem::setLoadEnabled(LoadHandle handle, bool enabled)
 {
     advanceTo(now());
     loads.at(handle).enabled = enabled;
+    invalidateLoadSum();
 }
 
 double
@@ -73,17 +79,6 @@ bool
 PowerSystem::loadEnabled(LoadHandle handle) const
 {
     return loads.at(handle).enabled;
-}
-
-double
-PowerSystem::totalLoadAmps() const
-{
-    double total = 0.0;
-    for (const auto &load : loads) {
-        if (load.enabled)
-            total += load.amps;
-    }
-    return total;
 }
 
 PowerSystem::SourceHandle
@@ -108,57 +103,22 @@ PowerSystem::addPowerListener(PowerListener listener)
 }
 
 void
-PowerSystem::integrateStep(double dt_seconds, double t_seconds)
-{
-    double v = cap.voltage();
-    double in_amps = harvester->currentInto(v, t_seconds);
-    if (cfg.harvestNoiseSigma > 0.0 && in_amps > 0.0) {
-        double n = 1.0 + sim().rng().gaussian(cfg.harvestNoiseSigma);
-        in_amps *= n < 0.0 ? 0.0 : n;
-    }
-    for (const auto &src : sources) {
-        if (src.enabled)
-            in_amps += src.fn(v, t_seconds);
-    }
-    double out_amps = powered ? totalLoadAmps() : cfg.offLeakageAmps;
-    double dq_in = in_amps * dt_seconds;
-    double dq_out = out_amps * dt_seconds;
-    chargeIn += dq_in;
-    chargeOut += dq_out;
-    cap.addCharge(dq_in - dq_out);
-    if (cap.voltage() > cfg.maxVolts)
-        cap.setVoltage(cfg.maxVolts);
-}
-
-void
-PowerSystem::updateComparator()
-{
-    bool next = powered;
-    if (powered && cap.voltage() < cfg.brownOutVolts) {
-        next = false;
-        ++brownOuts;
-    } else if (!powered && cap.voltage() >= cfg.turnOnVolts) {
-        next = true;
-        ++boots;
-    }
-    if (next == powered)
-        return;
-    powered = next;
-    for (const auto &listener : listeners)
-        listener(powered);
-}
-
-void
 PowerSystem::advanceTo(sim::Tick when)
 {
     if (integrating || when <= lastUpdate)
         return;
     integrating = true;
     sim::Tick t = lastUpdate;
+    const bool fast = cfg.fastIntegration;
     while (t < when) {
         sim::Tick step = std::min<sim::Tick>(cfg.maxStep, when - t);
-        integrateStep(sim::secondsFromTicks(step),
-                      sim::secondsFromTicks(t));
+        // Full-size sub-steps reuse the hoisted conversion; only the
+        // final partial step pays the divide. Identical value either
+        // way.
+        double step_sec = fast && step == cfg.maxStep
+                              ? maxStepSeconds
+                              : sim::secondsFromTicks(step);
+        integrateStep(step_sec, sim::secondsFromTicks(t));
         t += step;
         lastUpdate = t;
         updateComparator();

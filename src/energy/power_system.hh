@@ -61,6 +61,16 @@ struct PowerSystemConfig
     sim::Tick maxStep = 5 * sim::oneUs;
     /** Self-tick period that keeps the model advancing while idle. */
     sim::Tick idleTickPeriod = 20 * sim::oneUs;
+    /**
+     * Amortized-integration fast path: cache the enabled-load sum
+     * behind a dirty flag, hoist the ticks->seconds conversion of
+     * full-size sub-steps out of the integration loop, and skip the
+     * harvest-noise branch when sigma is zero. Bit-identical to the
+     * reference path (same sub-step sequence, same RNG draws, same
+     * double arithmetic); the flag exists so the determinism suite
+     * can diff the two.
+     */
+    bool fastIntegration = true;
 };
 
 /**
@@ -93,7 +103,24 @@ class PowerSystem : public sim::Component
     double loadCurrent(LoadHandle handle) const;
     bool loadEnabled(LoadHandle handle) const;
     /** Sum of all enabled load currents right now. */
-    double totalLoadAmps() const;
+    double
+    totalLoadAmps() const
+    {
+        if (loadSumValid)
+            return loadSum;
+        double total = 0.0;
+        for (const auto &load : loads) {
+            if (load.enabled)
+                total += load.amps;
+        }
+        // Same summation order as always, so the cached value is
+        // bit-identical to a fresh recomputation.
+        if (cfg.fastIntegration) {
+            loadSum = total;
+            loadSumValid = true;
+        }
+        return total;
+    }
     /// @}
 
     /// @name Sources (signed current injections, f(volts, seconds))
@@ -104,6 +131,37 @@ class PowerSystem : public sim::Component
 
     /** Integrate the analog state up to `when` (idempotent). */
     void advanceTo(sim::Tick when);
+
+    /**
+     * Single-sub-step drain used by the MCU's per-instruction fast
+     * path: exactly equivalent to `advanceTo(lastUpdateTick() + dt)`
+     * for `0 < dt <= maxStep` (one integration sub-step, then the
+     * comparator), but the caller supplies the precomputed
+     * ticks->seconds conversion of `dt`, which the MCU caches per
+     * decoded instruction. `dtSeconds` must equal
+     * `sim::secondsFromTicks(dt)`. Falls back to advanceTo when
+     * `dt > maxStep`. Defined inline below so the interpreter's
+     * per-instruction call flattens into one leaf.
+     */
+    void
+    drainStep(sim::Tick dt, double dtSeconds)
+    {
+        if (integrating || dt <= 0)
+            return;
+        if (dt > cfg.maxStep) {
+            advanceTo(lastUpdate + dt);
+            return;
+        }
+        // One sub-step, exactly as advanceTo(lastUpdate + dt) would.
+        integrating = true;
+        integrateStep(dtSeconds, sim::secondsFromTicks(lastUpdate));
+        lastUpdate += dt;
+        updateComparator();
+        integrating = false;
+    }
+
+    /** Time the analog state has been integrated up to. */
+    sim::Tick lastUpdateTick() const { return lastUpdate; }
 
     /** Capacitor voltage after advancing to the present time. */
     double voltage();
@@ -137,7 +195,12 @@ class PowerSystem : public sim::Component
     const PowerSystemConfig &config() const { return cfg; }
 
     /** Swap the harvester model (non-owning). */
-    void setHarvester(const Harvester *h) { harvester = h; }
+    void
+    setHarvester(const Harvester *h)
+    {
+        harvester = h;
+        refreshFlatSource();
+    }
 
     /// @name Charge accounting (for conservation checks)
     /// @{
@@ -165,9 +228,69 @@ class PowerSystem : public sim::Component
         bool enabled;
     };
 
-    void integrateStep(double dt_seconds, double t_seconds);
-    void updateComparator();
+    /** One forward-Euler sub-step (defined inline, it is the single
+     *  hottest function in the simulator). */
+    void
+    integrateStep(double dt_seconds, double t_seconds)
+    {
+        double v = cap.voltage();
+        double in_amps;
+        if (flatSource) {
+            // Inlined TheveninHarvester::currentInto — identical
+            // expression, including the ternary's signed-zero
+            // behaviour.
+            double i = (flatVoc - v) / flatRsrc;
+            in_amps = i > 0.0 ? i : 0.0;
+        } else {
+            in_amps = harvester->currentInto(v, t_seconds);
+        }
+        if (noiseEnabled && in_amps > 0.0) {
+            double n = 1.0 + sim().rng().gaussian(cfg.harvestNoiseSigma);
+            in_amps *= n < 0.0 ? 0.0 : n;
+        }
+        for (const auto &src : sources) {
+            if (src.enabled)
+                in_amps += src.fn(v, t_seconds);
+        }
+        double out_amps = powered ? totalLoadAmps() : cfg.offLeakageAmps;
+        double dq_in = in_amps * dt_seconds;
+        double dq_out = out_amps * dt_seconds;
+        chargeIn += dq_in;
+        chargeOut += dq_out;
+        cap.addCharge(dq_in - dq_out);
+        if (cap.voltage() > cfg.maxVolts)
+            cap.setVoltage(cfg.maxVolts);
+    }
+
+    void
+    updateComparator()
+    {
+        bool next = powered;
+        if (powered && cap.voltage() < cfg.brownOutVolts) {
+            next = false;
+            ++brownOuts;
+        } else if (!powered && cap.voltage() >= cfg.turnOnVolts) {
+            next = true;
+            ++boots;
+        }
+        if (next == powered)
+            return;
+        powered = next;
+        for (const auto &listener : listeners)
+            listener(powered);
+    }
+
     void tick();
+    void invalidateLoadSum() { loadSumValid = false; }
+
+    /** Re-probe the harvester for the inlineable constant-Thevenin
+     *  form (fastIntegration only; the arithmetic is identical). */
+    void
+    refreshFlatSource()
+    {
+        flatSource = cfg.fastIntegration && harvester &&
+                     harvester->theveninParams(flatVoc, flatRsrc);
+    }
 
     PowerSystemConfig cfg;
     const Harvester *harvester;
@@ -179,6 +302,16 @@ class PowerSystem : public sim::Component
     bool powered = false;
     bool integrating = false;
     bool started = false;
+    /** Cached sum of enabled load currents (fastIntegration). */
+    mutable double loadSum = 0.0;
+    mutable bool loadSumValid = false;
+    /** secondsFromTicks(cfg.maxStep), hoisted out of advanceTo. */
+    double maxStepSeconds = 0.0;
+    bool noiseEnabled = false;
+    /** Harvester devirtualization (see refreshFlatSource). */
+    bool flatSource = false;
+    double flatVoc = 0.0;
+    double flatRsrc = 1.0;
     double chargeIn = 0.0;
     double chargeOut = 0.0;
     std::uint64_t boots = 0;

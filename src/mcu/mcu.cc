@@ -60,6 +60,16 @@ Mcu::Mcu(sim::Simulator &simulator, std::string component_name,
     chkptEnabled = cfg.checkpointingEnabled;
     coreLoad = power.addLoad(name() + ".core", cfg.activeAmps, false);
     power.addPowerListener([this](bool on) { onPowerChange(on); });
+    powerMaxStep_ = power.config().maxStep;
+    mem_.setFindCacheEnabled(cfg.flatDispatch);
+}
+
+Mcu::~Mcu()
+{
+    // The write watch closes over `this`; drop it before the map can
+    // outlive the core.
+    if (icacheReady_)
+        mem_.clearWriteWatch();
 }
 
 void
@@ -91,20 +101,76 @@ Mcu::installMmio(mem::MmioRegion &mmio)
 void
 Mcu::loadProgram(const isa::Program &program)
 {
+    // Bulk-copy each segment straight into the backing store of the
+    // region(s) it lands in. Flashing is not a program store: it
+    // must neither pollute the wear statistics nor cost O(bytes)
+    // routed byte writes.
     for (const auto &seg : program.segments) {
-        for (std::size_t i = 0; i < seg.bytes.size(); ++i) {
-            mem::Addr addr = seg.base + static_cast<mem::Addr>(i);
-            if (mem_.write8(addr, seg.bytes[i]) !=
-                mem::AccessResult::Ok) {
+        std::size_t off = 0;
+        while (off < seg.bytes.size()) {
+            mem::Addr addr = seg.base + static_cast<mem::Addr>(off);
+            mem::Region *region = mem_.find(addr);
+            if (!region) {
                 sim::fatal("Mcu::loadProgram: address ", addr,
                            " is not mapped");
             }
+            std::size_t room = region->base() + region->size() - addr;
+            std::size_t chunk =
+                std::min(seg.bytes.size() - off, room);
+            if (auto *ram = dynamic_cast<mem::Ram *>(region)) {
+                ram->load(addr, seg.bytes.data() + off, chunk);
+            } else {
+                for (std::size_t i = 0; i < chunk; ++i)
+                    mem_.write8(addr + static_cast<mem::Addr>(i),
+                                seg.bytes[off + i]);
+            }
+            off += chunk;
         }
     }
     entry = program.entry;
     irqHandler = program.irqHandler;
     chkptEnabled = cfg.checkpointingEnabled;
+    icacheInvalidateAll();
     invalidateCheckpoints();
+}
+
+void
+Mcu::icacheEnsure()
+{
+    icacheReady_ = true;
+    mem::Addr lo = ~mem::Addr{0};
+    mem::Addr hi = 0;
+    framRanges_.clear();
+    for (auto *region : mem_.regions()) {
+        if (region->kind() == mem::RegionKind::Fram)
+            framRanges_.emplace_back(region->base(), region->size());
+        if (region->kind() == mem::RegionKind::Mmio)
+            continue;
+        lo = std::min(lo, region->base());
+        hi = std::max(hi, region->base() + region->size());
+    }
+    if (lo >= hi) {
+        icache_.clear();
+        icacheValid_.clear();
+        return;
+    }
+    lo &= ~mem::Addr{3};
+    icacheBase_ = lo;
+    icache_.assign((hi - lo) / 4, {});
+    icacheValid_.assign(icache_.size(), 0);
+    // Any routed store into the cached span drops the covering word
+    // (the map clears the valid byte directly). Bulk mutations that
+    // bypass the map (Ram::load, SRAM poison) are handled by the
+    // explicit invalidate-alls in loadProgram and onPowerChange.
+    mem_.setWriteWatch(lo, hi, icacheValid_.data());
+}
+
+void
+Mcu::icacheInvalidateAll()
+{
+    if (!icacheValid_.empty())
+        std::fill(icacheValid_.begin(), icacheValid_.end(),
+                  std::uint8_t{0});
 }
 
 void
@@ -143,6 +209,9 @@ Mcu::onPowerChange(bool on)
         bootEvent = sim::invalidEventId;
     }
     power.setLoadEnabled(coreLoad, false);
+    // The reset hook poisons SRAM behind the map's back; any
+    // predecoded instruction may now be stale.
+    icacheInvalidateAll();
     if (resetHook)
         resetHook();
 }
@@ -177,11 +246,42 @@ Mcu::runSlice()
         return;
     sim::Tick t = std::max(now(), cursor.now());
     sim::Tick end = t + cfg.sliceQuantum;
-    while (state_ == McuState::Running && t < end) {
-        if (sim().nextEventTime() <= t)
-            break;
-        if (!step(t))
-            break;
+    if (!cfg.batchedSlices) {
+        // Reference path: peek the event queue before every
+        // instruction.
+        while (state_ == McuState::Running && t < end) {
+            if (sim().nextEventTime() <= t)
+                break;
+            if (!step(t))
+                break;
+        }
+    } else {
+        // Segment-amortized path: the next-event time can only move
+        // when an event is scheduled or cancelled, and during a
+        // slice only MMIO-touching instructions, the tracer, or a
+        // power transition (which ends the slice anyway) can do
+        // that. So read it once per segment and re-read only after
+        // such an instruction. Instruction-for-instruction identical
+        // to the reference path.
+        const bool traced = static_cast<bool>(tracer);
+        while (state_ == McuState::Running && t < end) {
+            sim::Tick next_evt = sim().nextEventTime();
+            if (next_evt <= t)
+                break;
+            const sim::Tick seg_end = std::min(end, next_evt);
+            bool live = true;
+            mem_.clearMmioTouched();
+            while (state_ == McuState::Running && t < seg_end) {
+                if (!step(t)) {
+                    live = false;
+                    break;
+                }
+                if (mem_.mmioTouched() || traced)
+                    break; // resync with the event queue
+            }
+            if (!live)
+                break;
+        }
     }
     if (state_ == McuState::Running)
         sliceEvent = sim().schedule(t, [this] { runSlice(); });
@@ -214,52 +314,126 @@ Mcu::step(sim::Tick &t)
         return true;
     }
 
-    // Fetch.
-    std::uint32_t word;
-    if (!memRead32(pc_, word))
-        return false;
-    auto decoded = isa::decode(word);
-    if (!decoded) {
-        raiseFault(McuFault::IllegalInstr);
-        return false;
+    // Fetch: hit the predecode cache, else fetch + decode + classify
+    // and (when the PC is cacheable) remember the result.
+    const isa::Instr *ip = nullptr;
+    unsigned cyc = 0;
+    double dt_sec = 0.0;
+    bool have_dt_sec = false;
+    InstrClass cls = InstrClass::Static;
+    std::size_t idx = 0;
+    bool cacheable = false;
+    if (cfg.predecodeCache) {
+        if (!icacheReady_)
+            icacheEnsure();
+        if (!(pc_ & 3u) && pc_ >= icacheBase_) {
+            idx = (pc_ - icacheBase_) >> 2;
+            if (idx < icache_.size()) {
+                cacheable = true;
+                if (icacheValid_[idx]) {
+                    const CachedInstr &entry = icache_[idx];
+                    ip = &entry.instr;
+                    cyc = entry.cycles;
+                    cls = entry.cls;
+                    dt_sec = entry.dtSeconds;
+                    have_dt_sec = true;
+                }
+            }
+        }
     }
-    const isa::Instr &instr = *decoded;
+    isa::Instr fetched;
+    if (!ip) {
+        std::uint32_t word;
+        if (!memRead32(pc_, word))
+            return false;
+        auto decoded = isa::decode(word);
+        if (!decoded) {
+            raiseFault(McuFault::IllegalInstr);
+            return false;
+        }
+        fetched = *decoded;
+        ip = &fetched;
+        cyc = isa::baseCycles(fetched.op);
+        switch (fetched.op) {
+          case isa::Opcode::Ldw:
+          case isa::Opcode::Ldb:
+          case isa::Opcode::Push:
+          case isa::Opcode::Pop:
+          case isa::Opcode::Call:
+          case isa::Opcode::Callr:
+          case isa::Opcode::Ret:
+          case isa::Opcode::Reti:
+            cyc += cfg.memExtraCycles;
+            break;
+          case isa::Opcode::Stw:
+          case isa::Opcode::Stb:
+            cyc += cfg.memExtraCycles;
+            cls = InstrClass::Store;
+            break;
+          case isa::Opcode::Chkpt:
+            cls = InstrClass::Chkpt;
+            break;
+          default:
+            break;
+        }
+        if (cacheable) {
+            // Never cache instruction words read from MMIO: those
+            // reads have side effects and must stay on the slow
+            // path.
+            mem::Region *region = mem_.find(pc_);
+            if (region && region->kind() != mem::RegionKind::Mmio) {
+                icache_[idx] = CachedInstr{
+                    fetched, cyc,
+                    sim::secondsFromTicks(
+                        static_cast<sim::Tick>(cyc) * cyclePeriod_),
+                    cls};
+                icacheValid_[idx] = 1;
+            }
+        }
+    }
+    const isa::Instr &instr = *ip;
 
-    // Cost the instruction.
-    unsigned cyc = isa::baseCycles(instr.op);
-    switch (instr.op) {
-      case isa::Opcode::Ldw:
-      case isa::Opcode::Ldb:
-      case isa::Opcode::Push:
-      case isa::Opcode::Pop:
-      case isa::Opcode::Call:
-      case isa::Opcode::Callr:
-      case isa::Opcode::Ret:
-      case isa::Opcode::Reti:
-        cyc += cfg.memExtraCycles;
-        break;
-      case isa::Opcode::Stw:
-      case isa::Opcode::Stb: {
-        cyc += cfg.memExtraCycles;
+    // Dynamic cost components (same order of operations as the
+    // reference cost switch).
+    if (cls == InstrClass::Store) {
         mem::Addr ea = regs[instr.rs] +
                        static_cast<std::uint32_t>(instr.imm);
-        mem::Region *region = mem_.find(ea);
-        if (region && region->kind() == mem::RegionKind::Fram)
+        bool fram = false;
+        if (icacheReady_) {
+            // Exact per-region ranges (gaps stay non-FRAM), so this
+            // matches the map lookup for every address.
+            for (const auto &[fbase, fspan] : framRanges_) {
+                if (ea - fbase < fspan) {
+                    fram = true;
+                    break;
+                }
+            }
+        } else {
+            mem::Region *region = mem_.find(ea);
+            fram = region && region->kind() == mem::RegionKind::Fram;
+        }
+        if (fram) {
             cyc += cfg.framWriteExtraCycles;
-        break;
-      }
-      case isa::Opcode::Chkpt:
-        if (chkptEnabled)
+            have_dt_sec = false;
+        }
+    } else if (cls == InstrClass::Chkpt) {
+        if (chkptEnabled) {
             cyc = checkpointCostCycles();
-        break;
-      default:
-        break;
+            have_dt_sec = false;
+        }
     }
 
     // Drain the supply across the instruction; a brown-out mid
     // instruction kills it before it commits.
     sim::Tick dt = static_cast<sim::Tick>(cyc) * cyclePeriod_;
-    power.advanceTo(t + dt);
+    if (cfg.batchedDrain && dt <= powerMaxStep_ &&
+        power.lastUpdateTick() == t) {
+        if (!have_dt_sec)
+            dt_sec = sim::secondsFromTicks(dt);
+        power.drainStep(dt, dt_sec);
+    } else {
+        power.advanceTo(t + dt);
+    }
     if (state_ != McuState::Running)
         return false;
     cursor.advance(t + dt);

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "energy/power_system.hh"
 #include "isa/isa.hh"
@@ -49,6 +50,28 @@ struct McuConfig
     sim::Tick bootDelay = 100 * sim::oneUs;
     /** Max instructions-slice length per event. */
     sim::Tick sliceQuantum = 100 * sim::oneUs;
+
+    /// @name Fast-path execution (default on)
+    /// Each mechanism is bit-identical to the reference path — same
+    /// instruction stream, same power sub-step sequence, same RNG
+    /// draws. The flags exist so the determinism suite can diff the
+    /// fast and reference paths instruction-for-instruction.
+    /// @{
+    /** Predecoded instruction cache indexed by PC: decode each code
+     *  word once, invalidated on writes into the cached range and on
+     *  loadProgram / brown-out. */
+    bool predecodeCache = true;
+    /** Last-hit region cache in the memory map (flat dispatch). */
+    bool flatDispatch = true;
+    /** Drain per-instruction energy through the single-sub-step
+     *  PowerSystem::drainStep entry instead of the general
+     *  advanceTo path. */
+    bool batchedDrain = true;
+    /** Amortize the event-queue peek over slice segments: re-read
+     *  sim().nextEventTime() only after an instruction that could
+     *  have scheduled an event (MMIO access, tracer). */
+    bool batchedSlices = true;
+    /// @}
 
     /** Hardware checkpoint unit enable (restore-on-boot). */
     bool checkpointingEnabled = false;
@@ -97,6 +120,8 @@ class Mcu : public sim::Component
     Mcu(sim::Simulator &simulator, std::string component_name,
         sim::TimeCursor &cursor, mem::MemoryMap &memory,
         energy::PowerSystem &power, McuConfig config = {});
+
+    ~Mcu() override;
 
     /// @name Program loading
     /// @{
@@ -165,6 +190,26 @@ class Mcu : public sim::Component
     sim::Tick cyclePeriod() const { return cyclePeriod_; }
 
   private:
+    /** Predecoded-instruction classes: how much of the cycle cost
+     *  can be precomputed at decode time. */
+    enum class InstrClass : std::uint8_t
+    {
+        Static, ///< Cost fully known at decode time.
+        Store,  ///< STW/STB: +framWriteExtraCycles when EA is FRAM.
+        Chkpt,  ///< CHKPT: cost depends on live stack depth.
+    };
+
+    /** One slot of the predecoded instruction cache. */
+    struct CachedInstr
+    {
+        isa::Instr instr;
+        /** Static cycle cost (includes memExtraCycles). */
+        std::uint32_t cycles = 0;
+        /** secondsFromTicks(cycles * cyclePeriod_), precomputed. */
+        double dtSeconds = 0.0;
+        InstrClass cls = InstrClass::Static;
+    };
+
     void onPowerChange(bool on);
     void boot();
     void runSlice();
@@ -172,6 +217,11 @@ class Mcu : public sim::Component
      *  @return false when the slice must end (power loss, halt,
      *  fault). */
     bool step(sim::Tick &t);
+    /** Lazily size the predecode cache from the memory map and
+     *  install the write watch that keeps it coherent. */
+    void icacheEnsure();
+    /** Drop every predecoded instruction (loadProgram, brown-out). */
+    void icacheInvalidateAll();
     void execute(const isa::Instr &instr, sim::Tick t);
     void raiseFault(McuFault cause);
     void enterIrq();
@@ -211,6 +261,19 @@ class Mcu : public sim::Component
 
     sim::EventId sliceEvent = sim::invalidEventId;
     sim::EventId bootEvent = sim::invalidEventId;
+
+    /** Predecoded instruction cache, indexed by (pc - icacheBase)/4.
+     *  Validity lives in a separate byte vector so wholesale
+     *  invalidation is a cheap fill. */
+    std::vector<CachedInstr> icache_;
+    std::vector<std::uint8_t> icacheValid_;
+    mem::Addr icacheBase_ = 0;
+    bool icacheReady_ = false;
+    /** (base, span) of each FRAM region, snapshotted with the icache
+     *  so store costing can skip the memory-map lookup. */
+    std::vector<std::pair<mem::Addr, mem::Addr>> framRanges_;
+    /** Cached power integration sub-step ceiling. */
+    sim::Tick powerMaxStep_ = 0;
 
     ResetHook resetHook;
     Tracer tracer;

@@ -29,6 +29,7 @@ Ram::Ram(std::string region_name, Addr base_addr, Addr size_bytes,
 {
     if (region_kind == RegionKind::Mmio)
         sim::fatal("Ram: cannot be an MMIO region");
+    setDirectStore(store.data());
 }
 
 std::uint8_t
@@ -42,6 +43,29 @@ Ram::write8(Addr addr, std::uint8_t value)
 {
     store[addr - base()] = value;
     ++writes;
+}
+
+std::uint32_t
+Ram::read32(Addr addr)
+{
+    // Word-native: the compiler folds the explicit little-endian
+    // compose into a single load on LE hosts.
+    const std::uint8_t *p = store.data() + (addr - base());
+    return static_cast<std::uint32_t>(p[0]) |
+           static_cast<std::uint32_t>(p[1]) << 8 |
+           static_cast<std::uint32_t>(p[2]) << 16 |
+           static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+void
+Ram::write32(Addr addr, std::uint32_t value)
+{
+    std::uint8_t *p = store.data() + (addr - base());
+    p[0] = static_cast<std::uint8_t>(value);
+    p[1] = static_cast<std::uint8_t>(value >> 8);
+    p[2] = static_cast<std::uint8_t>(value >> 16);
+    p[3] = static_cast<std::uint8_t>(value >> 24);
+    ++writes; // one logical write, not four
 }
 
 void
@@ -60,10 +84,15 @@ Ram::clear()
 void
 Ram::load(Addr addr, const std::vector<std::uint8_t> &bytes_in)
 {
-    if (addr < base() || addr + bytes_in.size() > base() + size())
+    load(addr, bytes_in.data(), bytes_in.size());
+}
+
+void
+Ram::load(Addr addr, const std::uint8_t *data, std::size_t len)
+{
+    if (addr < base() || addr + len > base() + size())
         sim::fatal("Ram::load: image does not fit region ", name());
-    std::copy(bytes_in.begin(), bytes_in.end(),
-              store.begin() + (addr - base()));
+    std::copy(data, data + len, store.begin() + (addr - base()));
 }
 
 MmioRegion::MmioRegion(std::string region_name, Addr base_addr,
@@ -147,11 +176,34 @@ MemoryMap::addRegion(Region *region)
 Region *
 MemoryMap::find(Addr addr) const
 {
+    Region *cached = hot;
+    if (cached && cached->contains(addr))
+        return cached;
     for (auto *region : list) {
-        if (region->contains(addr))
+        if (region->contains(addr)) {
+            if (findCacheEnabled)
+                hot = region;
             return region;
+        }
     }
     return nullptr;
+}
+
+void
+MemoryMap::setWriteWatch(Addr lo, Addr hi, std::uint8_t *valid)
+{
+    if (hi < lo)
+        sim::fatal("MemoryMap::setWriteWatch: inverted range");
+    watchLo = lo;
+    watchSpan = valid ? hi - lo : 0;
+    watchValid = valid;
+}
+
+void
+MemoryMap::clearWriteWatch()
+{
+    watchSpan = 0;
+    watchValid = nullptr;
 }
 
 AccessResult
@@ -160,6 +212,12 @@ MemoryMap::read8(Addr addr, std::uint8_t &value) const
     Region *r = find(addr);
     if (!r)
         return AccessResult::Unmapped;
+    if (const std::uint8_t *p = r->directStore()) {
+        value = p[addr - r->base()];
+        return AccessResult::Ok;
+    }
+    if (r->kind() == RegionKind::Mmio)
+        mmioHit = true;
     value = r->read8(addr);
     return AccessResult::Ok;
 }
@@ -170,7 +228,17 @@ MemoryMap::write8(Addr addr, std::uint8_t value) const
     Region *r = find(addr);
     if (!r)
         return AccessResult::Unmapped;
+    if (r->directStore()) {
+        // directStore() implies Ram (see setDirectStore): call it
+        // non-virtually so the interpreter's store path stays flat.
+        static_cast<Ram *>(r)->Ram::write8(addr, value);
+        noteWrite(addr);
+        return AccessResult::Ok;
+    }
+    if (r->kind() == RegionKind::Mmio)
+        mmioHit = true;
     r->write8(addr, value);
+    noteWrite(addr);
     return AccessResult::Ok;
 }
 
@@ -182,6 +250,16 @@ MemoryMap::read32(Addr addr, std::uint32_t &value) const
     Region *r = find(addr);
     if (!r || !r->contains(addr + 3))
         return AccessResult::Unmapped;
+    if (const std::uint8_t *d = r->directStore()) {
+        const std::uint8_t *p = d + (addr - r->base());
+        value = static_cast<std::uint32_t>(p[0]) |
+                static_cast<std::uint32_t>(p[1]) << 8 |
+                static_cast<std::uint32_t>(p[2]) << 16 |
+                static_cast<std::uint32_t>(p[3]) << 24;
+        return AccessResult::Ok;
+    }
+    if (r->kind() == RegionKind::Mmio)
+        mmioHit = true;
     value = r->read32(addr);
     return AccessResult::Ok;
 }
@@ -194,7 +272,16 @@ MemoryMap::write32(Addr addr, std::uint32_t value) const
     Region *r = find(addr);
     if (!r || !r->contains(addr + 3))
         return AccessResult::Unmapped;
+    if (r->directStore()) {
+        // directStore() implies Ram (see setDirectStore).
+        static_cast<Ram *>(r)->Ram::write32(addr, value);
+        noteWrite(addr);
+        return AccessResult::Ok;
+    }
+    if (r->kind() == RegionKind::Mmio)
+        mmioHit = true;
     r->write32(addr, value);
+    noteWrite(addr);
     return AccessResult::Ok;
 }
 

@@ -13,6 +13,7 @@
 #ifndef EDB_MEM_MEMORY_HH
 #define EDB_MEM_MEMORY_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -63,11 +64,28 @@ class Region
     /** Aligned 32-bit write; default composes byte writes (LE). */
     virtual void write32(Addr addr, std::uint32_t value);
 
+    /**
+     * Flat backing store for side-effect-free regions, or nullptr
+     * when accesses must go through the virtual interface (MMIO).
+     * Ram publishes its store so the memory map's routed *reads* can
+     * skip the virtual dispatch; writes still dispatch, because Ram
+     * keeps wear statistics.
+     */
+    const std::uint8_t *directStore() const { return direct_; }
+
+  protected:
+    /** Set by subclasses whose storage is a plain byte array.
+     *  Only Ram may publish a direct store: the memory map relies on
+     *  `directStore() != nullptr implies the region is a Ram` to
+     *  devirtualize its routed write dispatch. */
+    void setDirectStore(const std::uint8_t *store) { direct_ = store; }
+
   private:
     std::string name_;
     Addr base_;
     Addr size_;
     RegionKind kind_;
+    const std::uint8_t *direct_ = nullptr;
 };
 
 /**
@@ -84,6 +102,12 @@ class Ram : public Region
     std::uint8_t read8(Addr addr) override;
     void write8(Addr addr, std::uint8_t value) override;
 
+    /** Word-native access to the backing store (LE). A `write32`
+     *  counts as one logical write in the wear statistics, not
+     *  four. */
+    std::uint32_t read32(Addr addr) override;
+    void write32(Addr addr, std::uint32_t value) override;
+
     /**
      * React to a power loss: volatile regions are filled with a
      * poison pattern (0xCD) so that software reading uninitialized
@@ -95,8 +119,11 @@ class Ram : public Region
     /** Fill with zero (flash-programming, test setup). */
     void clear();
 
-    /** Bulk load starting at an absolute address. */
+    /** Bulk load starting at an absolute address. Does not count
+     *  toward the wear statistics (it models flash programming, not
+     *  program stores). */
     void load(Addr addr, const std::vector<std::uint8_t> &bytes);
+    void load(Addr addr, const std::uint8_t *data, std::size_t len);
 
     /** Direct backing-store access for instruments/tests. */
     std::vector<std::uint8_t> &bytes() { return store; }
@@ -181,8 +208,60 @@ class MemoryMap
     /** All attached regions. */
     const std::vector<Region *> &regions() const { return list; }
 
+    /**
+     * Enable/disable the last-hit region cache consulted by find().
+     * Purely a lookup accelerator: the region returned is identical
+     * either way (regions never overlap).
+     */
+    void
+    setFindCacheEnabled(bool on)
+    {
+        findCacheEnabled = on;
+        hot = nullptr;
+    }
+
+    /**
+     * Watch routed writes into [lo, hi): each one clears the byte
+     * `valid[(addr - lo) / 4]` in the caller-owned array, which must
+     * cover `(hi - lo) / 4` entries and outlive the watch. At most
+     * one watch exists; the MCU uses it to invalidate predecoded
+     * instructions when anything stores into the code address range.
+     * The raw-pointer protocol (rather than a callback) keeps the
+     * per-store cost to one compare — the watch sits on the
+     * interpreter's store path. Writes that bypass the map
+     * (Ram::load, Ram::powerLoss, direct backing-store access) are
+     * NOT observed — callers of those invalidate explicitly.
+     */
+    void setWriteWatch(Addr lo, Addr hi, std::uint8_t *valid);
+    void clearWriteWatch();
+
+    /**
+     * Sticky flag: set whenever a routed access lands in an MMIO
+     * region (the only accesses that can schedule simulator events
+     * or change power loads). The MCU's batched slice loop clears it
+     * per segment and resynchronizes with the event queue when set.
+     */
+    bool mmioTouched() const { return mmioHit; }
+    void clearMmioTouched() { mmioHit = false; }
+
   private:
+    void
+    noteWrite(Addr addr) const
+    {
+        // Single unsigned compare: watchSpan is 0 when no watch is
+        // installed, so the branch is never taken then.
+        if (addr - watchLo < watchSpan)
+            watchValid[(addr - watchLo) >> 2] = 0;
+    }
+
     std::vector<Region *> list;
+    /** Last region hit by find(); a 1-entry cache. */
+    mutable Region *hot = nullptr;
+    bool findCacheEnabled = true;
+    mutable bool mmioHit = false;
+    Addr watchLo = 0;
+    Addr watchSpan = 0;
+    std::uint8_t *watchValid = nullptr;
 };
 
 } // namespace edb::mem

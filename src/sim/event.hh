@@ -136,6 +136,10 @@ class EventQueue
     void
     prune()
     {
+        // nextTime() runs on the interpreter's slice path; skip the
+        // hash probe entirely in the common no-cancellations state.
+        if (cancelled.empty())
+            return;
         while (!heap.empty() && cancelled.count(heap.top().id)) {
             cancelled.erase(heap.top().id);
             heap.pop();

@@ -10,10 +10,100 @@
 #ifndef EDB_SIM_RNG_HH
 #define EDB_SIM_RNG_HH
 
+#include <cmath>
 #include <cstdint>
 #include <random>
 
 namespace edb::sim {
+
+/**
+ * Mersenne twister with the std::mt19937_64 parameter set.
+ *
+ * The C++ standard pins the output of
+ * `mersenne_twister_engine<uint64_t, 64, 312, 156, ...>` exactly, so
+ * this engine produces the same draw sequence as std::mt19937_64 for
+ * the same seed (the unit tests assert it word for word). It exists
+ * because the analog integration loop draws harvest noise once per
+ * sub-step, and the library engine's per-draw bookkeeping dominated
+ * that profile: here the twist *and* the tempering run in bulk every
+ * 312 draws, so a draw is a buffered load.
+ */
+class Mt64
+{
+  public:
+    using result_type = std::uint64_t;
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type{0}; }
+
+    explicit Mt64(result_type value = defaultSeed) { seed(value); }
+
+    /** Standard seeding recurrence (identical to std::mt19937_64). */
+    void
+    seed(result_type value)
+    {
+        state[0] = value;
+        for (unsigned i = 1; i < n; ++i)
+            state[i] = 6364136223846793005ULL *
+                           (state[i - 1] ^ (state[i - 1] >> 62)) +
+                       i;
+        index = n;
+    }
+
+    result_type
+    operator()()
+    {
+        if (index >= n)
+            refill();
+        return out[index++];
+    }
+
+    static constexpr result_type defaultSeed = 5489;
+
+  private:
+    static constexpr unsigned n = 312;
+    static constexpr unsigned m = 156;
+    static constexpr result_type upperMask = ~result_type{0} << 31;
+    static constexpr result_type lowerMask = ~upperMask;
+    static constexpr result_type matrixA = 0xB5026F5AA96619E9ULL;
+
+    void
+    refill()
+    {
+        // Twist (three segments avoid the modulo of the textbook
+        // loop), then temper the whole block in one pass the
+        // vectorizer likes. Branchless conditional xor of matrixA.
+        unsigned i = 0;
+        for (; i < n - m; ++i) {
+            result_type x =
+                (state[i] & upperMask) | (state[i + 1] & lowerMask);
+            state[i] = state[i + m] ^ (x >> 1) ^ (-(x & 1) & matrixA);
+        }
+        for (; i < n - 1; ++i) {
+            result_type x =
+                (state[i] & upperMask) | (state[i + 1] & lowerMask);
+            state[i] =
+                state[i + m - n] ^ (x >> 1) ^ (-(x & 1) & matrixA);
+        }
+        result_type x =
+            (state[n - 1] & upperMask) | (state[0] & lowerMask);
+        state[n - 1] = state[m - 1] ^ (x >> 1) ^ (-(x & 1) & matrixA);
+
+        for (unsigned k = 0; k < n; ++k) {
+            result_type y = state[k];
+            y ^= (y >> 29) & 0x5555555555555555ULL;
+            y ^= (y << 17) & 0x71D67FFFEDA60000ULL;
+            y ^= (y << 37) & 0xFFF7EEE000000000ULL;
+            y ^= y >> 43;
+            out[k] = y;
+        }
+        index = 0;
+    }
+
+    result_type state[n];
+    result_type out[n];
+    unsigned index;
+};
 
 /**
  * Thin wrapper around a 64-bit Mersenne twister with convenience
@@ -48,13 +138,33 @@ class Rng
         return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine);
     }
 
-    /** Zero-mean Gaussian with the given standard deviation. */
+    /**
+     * Zero-mean Gaussian with the given standard deviation.
+     *
+     * Hand-inlined Marsaglia polar method, drawing uniforms through
+     * canonical(). A freshly constructed std::normal_distribution is
+     * stateless (no saved spare), so this consumes the same engine
+     * draws and performs the same double arithmetic as
+     * `std::normal_distribution<double>(0.0, sigma)(engine)` — the
+     * stream is bit-identical, it just skips the library's generic
+     * long-double uniform path (which re-derives log2(engine range)
+     * per draw and dominated the analog integration profile).
+     */
     double
     gaussian(double sigma)
     {
         if (sigma <= 0.0)
             return 0.0;
-        return std::normal_distribution<double>(0.0, sigma)(engine);
+        double x, y, r2;
+        do {
+            x = 2.0 * canonical() - 1.0;
+            y = 2.0 * canonical() - 1.0;
+            r2 = x * x + y * y;
+        } while (r2 > 1.0 || r2 == 0.0);
+        const double mult = std::sqrt(-2 * std::log(r2) / r2);
+        // Matches the library's `ret * stddev + mean` exactly,
+        // including the +0.0 (not a no-op for signed zeros).
+        return (y * mult) * sigma + 0.0;
     }
 
     /** Bernoulli trial: true with probability p. */
@@ -68,11 +178,27 @@ class Rng
         return uniform() < p;
     }
 
+    /**
+     * Uniform double in [0, 1) equal, bit for bit, to
+     * `std::generate_canonical<double, 53>(raw())`: for a 64-bit
+     * engine that specialization is a single draw scaled into [0, 1)
+     * with a top-end guard (scaling by 2^-64 is exact, so multiply
+     * and divide agree).
+     */
+    double
+    canonical()
+    {
+        double r = static_cast<double>(engine()) * 0x1p-64;
+        if (r >= 1.0) [[unlikely]]
+            r = std::nextafter(1.0, 0.0);
+        return r;
+    }
+
     /** Access to the raw engine for std distributions. */
-    std::mt19937_64 &raw() { return engine; }
+    Mt64 &raw() { return engine; }
 
   private:
-    std::mt19937_64 engine;
+    Mt64 engine;
 };
 
 } // namespace edb::sim

@@ -319,6 +319,55 @@ TEST(PowerSystem, AdvanceToIsIdempotent)
     EXPECT_DOUBLE_EQ(power.voltage(), v1);
 }
 
+/** The interpreter's per-instruction drainStep entry must be exactly
+ *  the single-sub-step advanceTo, RNG draws included: same noise
+ *  sequence, bit-identical trajectory. */
+TEST(PowerSystem, DrainStepMatchesAdvanceToBitExactly)
+{
+    PowerSystemConfig config; // default: harvest noise enabled
+    sim::Simulator simA(99);
+    sim::Simulator simB(99);
+    TheveninHarvester hA(3.0, 1000.0);
+    TheveninHarvester hB(3.0, 1000.0);
+    PowerSystem a(simA, "a", config, &hA);
+    PowerSystem b(simB, "b", config, &hB);
+    a.addLoad("core", 0.5e-3, true);
+    b.addLoad("core", 0.5e-3, true);
+    const sim::Tick dt = sim::oneUs;
+    const double dt_sec = sim::secondsFromTicks(dt);
+    for (int i = 0; i < 5000; ++i) {
+        a.drainStep(dt, dt_sec);
+        b.advanceTo(b.lastUpdateTick() + dt);
+        ASSERT_EQ(a.voltage(), b.voltage()) << "sub-step " << i;
+    }
+}
+
+/** The devirtualized constant-Thevenin source inline (fastIntegration)
+ *  must reproduce the virtual harvester path bit-for-bit, noise
+ *  included. */
+TEST(PowerSystem, FastIntegrationMatchesVirtualHarvesterPath)
+{
+    PowerSystemConfig fastCfg; // fastIntegration default-on
+    PowerSystemConfig refCfg;
+    refCfg.fastIntegration = false;
+    sim::Simulator simA(7);
+    sim::Simulator simB(7);
+    TheveninHarvester hA(3.0, 500.0);
+    TheveninHarvester hB(3.0, 500.0);
+    PowerSystem fast(simA, "fast", fastCfg, &hA);
+    PowerSystem ref(simB, "ref", refCfg, &hB);
+    fast.addLoad("core", 0.5e-3, true);
+    ref.addLoad("core", 0.5e-3, true);
+    fast.start();
+    ref.start();
+    for (int ms = 1; ms <= 200; ++ms) {
+        simA.runFor(sim::oneMs);
+        simB.runFor(sim::oneMs);
+        ASSERT_EQ(fast.voltage(), ref.voltage()) << "ms " << ms;
+    }
+    EXPECT_EQ(fast.bootCount(), ref.bootCount());
+}
+
 /** Property sweep: sawtooth period scales with capacitance. */
 class SawtoothSweep : public ::testing::TestWithParam<double>
 {};

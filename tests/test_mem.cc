@@ -63,8 +63,13 @@ TEST(Ram, WriteCountTracksWear)
     Ram ram("ram", 0, 16, RegionKind::Fram);
     EXPECT_EQ(ram.writeCount(), 0u);
     ram.write8(0, 1);
+    EXPECT_EQ(ram.writeCount(), 1u);
+    // A word store is one logical write, not four byte writes.
     ram.write32(4, 5);
-    EXPECT_EQ(ram.writeCount(), 5u);
+    EXPECT_EQ(ram.writeCount(), 2u);
+    // Bulk load (flash programming) does not count as wear.
+    ram.load(8, {1, 2, 3, 4});
+    EXPECT_EQ(ram.writeCount(), 2u);
 }
 
 TEST(Ram, CannotBeMmio)
