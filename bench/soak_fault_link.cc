@@ -227,6 +227,20 @@ main(int argc, char **argv)
                 "brown-outs\n",
                 u(total.faultsInjected), u(total.brownOutsForced));
 
+    // Machine-readable summary for CI log scrapers. A "leaked" (still
+    // open at the horizon) or hung session fails the soak below.
+    std::printf("\n{\"plans\": %d, \"failed_plans\": %d, "
+                "\"episodes\": {\"run\": %llu, \"degraded\": %llu, "
+                "\"aborted\": %llu}, \"sessions\": {\"opened\": "
+                "%llu, \"completed\": %llu, \"aborted\": %llu, "
+                "\"leaked\": %llu}, \"frames_ok\": %llu, "
+                "\"crc_errors\": %llu, \"resyncs\": %llu}\n",
+                plans, failedPlans, u(total.sessions),
+                u(total.degraded), u(total.abortedEpisodes),
+                u(total.sessions), u(total.completed),
+                u(total.aborted), u(total.stuck), u(total.framesOk),
+                u(total.crcErrors), u(total.resyncs));
+
     if (failedPlans == 0 && total.sessions > 0) {
         std::printf("\nSOAK PASS\n");
         return 0;

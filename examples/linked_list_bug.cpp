@@ -11,6 +11,9 @@
  * Act 3 — the diagnosis: EDB's assert halts the target at the exact
  * moment the list invariant breaks and keeps it alive for
  * inspection through the Table 1 console.
+ * Act 4 — no assert needed: the NV consistency auditor flags the
+ * write-after-read violation automatically, naming the offending
+ * store and the reboot interval it executed in.
  */
 
 #include <cstdio>
@@ -20,6 +23,7 @@
 #include "console/console.hh"
 #include "edb/board.hh"
 #include "energy/harvester.hh"
+#include "mem/nv_audit.hh"
 #include "sim/simulator.hh"
 #include "target/wisp.hh"
 
@@ -120,8 +124,43 @@ main()
         runConsole(con, "resume");
         edb.waitPassive(sim::oneSec);
         std::printf("\ntarget resumed with its energy state "
-                    "restored (saved %.3f V, restored %.3f V).\n",
+                    "restored (saved %.3f V, restored %.3f V).\n\n",
                     edb.lastSavedVolts(), edb.lastRestoredVolts());
+    }
+
+    std::printf("== Act 4: the NV consistency auditor ==\n");
+    {
+        sim::Simulator simulator(4);
+        energy::RfHarvester rf(30.0, 1.0);
+        target::Wisp wisp(simulator, "wisp", &rf, nullptr);
+        edbdbg::EdbBoard edb(simulator, "edb", wisp);
+
+        mem::NvAuditConfig acfg;
+        acfg.checkpointBase = wisp.config().mcu.checkpointBase;
+        acfg.checkpointSpan = 2 * wisp.config().mcu.checkpointSlotSize;
+        mem::NvAuditor audit(acfg, wisp.framRegion());
+        edb.attachAuditor(&audit);
+
+        // The unmodified buggy app: no assert, no instrumentation.
+        wisp.flash(apps::buildLinkedListApp());
+        wisp.start();
+
+        if (!edb.waitForSession(60 * sim::oneSec)) {
+            std::printf("no violation surfaced; try another seed\n");
+            return 1;
+        }
+        auto *session = edb.session();
+        std::printf("session opened at t=%.1f ms, reason '%s' -- no "
+                    "assert was needed.\n",
+                    sim::millisFromTicks(simulator.now()),
+                    edbdbg::sessionReasonName(session->reason()));
+        for (const mem::NvFinding &f : session->findings())
+            std::printf("  %s\n", mem::nvFindingText(f).c_str());
+        std::printf("the guide address is the FRAM tail pointer the "
+                    "interrupted append had\nread: the exact "
+                    "time-travel window Acts 1-3 chased by hand.\n");
+        session->resume();
+        edb.waitPassive(sim::oneSec);
     }
     return 0;
 }

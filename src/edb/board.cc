@@ -188,6 +188,21 @@ EdbBoard::injectFaults(sim::FaultInjector *fault_injector)
     }
 }
 
+void
+EdbBoard::attachAuditor(mem::NvAuditor *auditor)
+{
+    audit_ = auditor;
+    wisp.mcu().setAuditor(auditor);
+    if (auditor) {
+        wisp.memoryMap().setWriteHook(&mem::NvAuditor::rawWriteHook,
+                                      auditor);
+        auditSeen = auditor->violationCount();
+    } else {
+        wisp.memoryMap().clearWriteHook();
+        auditSeen = 0;
+    }
+}
+
 bool
 EdbBoard::setStream(const std::string &stream_name, bool on)
 {
@@ -229,6 +244,22 @@ EdbBoard::sampleEnergy()
                        *energyBkptVolts + cfg.energyBkptHysteresis) {
             energyBkptArmed = true;
         }
+    }
+
+    // NV consistency auditor: findings materialize at power loss,
+    // when the target cannot run. Surface them by breaking in the
+    // next time the target is up, through the same interrupt path
+    // as an energy breakpoint.
+    if (audit_ && mode == Mode::Passive &&
+        audit_->violationCount() > auditSeen &&
+        wisp.state() == mcu::McuState::Running) {
+        auditSeen = audit_->violationCount();
+        traceBuf.push(now(), trace::Kind::Generic, lastVcapVolts, 0.0,
+                      static_cast<std::uint32_t>(
+                          audit_->findings().size()),
+                      "nv-consistency-violation");
+        pendingIrqReason = SessionReason::ConsistencyViolation;
+        wisp.mcu().raiseDebugIrq();
     }
     sim().scheduleIn(cfg.energySamplePeriod, [this] { sampleEnergy(); });
 }

@@ -192,6 +192,18 @@ class EdbBoard : public sim::Component
      */
     void injectFaults(sim::FaultInjector *fault_injector);
 
+    /**
+     * Attach the NV consistency auditor (nullptr detaches): wires it
+     * into the target's interpreter and memory map, and makes the
+     * board break the target in — opening a ConsistencyViolation
+     * session — whenever fresh WAR findings appear. Findings are
+     * produced at power loss, when nothing can run, so the break-in
+     * happens from the passive sampling loop once the target is back
+     * up. The auditor outlives the attachment (caller-owned).
+     */
+    void attachAuditor(mem::NvAuditor *auditor);
+    mem::NvAuditor *auditor() const { return audit_; }
+
     /// @name Introspection
     /// @{
     target::Wisp &target() { return wisp; }
@@ -313,6 +325,10 @@ class EdbBoard : public sim::Component
     sim::FaultInjector *injector = nullptr;
     LinkStats linkStats_;
     std::string lastAbortReason_;
+
+    mem::NvAuditor *audit_ = nullptr;
+    /** Violation count already surfaced through a session. */
+    std::uint64_t auditSeen = 0;
 
     std::uint64_t printfs = 0;
     std::uint64_t guards = 0;

@@ -12,6 +12,8 @@ sessionReasonName(SessionReason reason)
       case SessionReason::CodeBreakpoint: return "code-breakpoint";
       case SessionReason::EnergyBreakpoint: return "energy-breakpoint";
       case SessionReason::Manual: return "manual";
+      case SessionReason::ConsistencyViolation:
+        return "consistency-violation";
     }
     return "unknown";
 }
@@ -52,6 +54,14 @@ DebugSession::write32(std::uint32_t addr, std::uint32_t value,
     if (!open_)
         return false;
     return board.sessionWrite(addr, value, timeout);
+}
+
+std::vector<mem::NvFinding>
+DebugSession::findings() const
+{
+    if (!board.auditor())
+        return {};
+    return board.auditor()->findings();
 }
 
 void

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "mem/nv_audit.hh"
 #include "sim/time.hh"
 
 namespace edb::edbdbg {
@@ -34,6 +35,8 @@ enum class SessionReason : std::uint8_t
     CodeBreakpoint,
     EnergyBreakpoint,
     Manual,
+    /** The NV consistency auditor flagged a WAR violation. */
+    ConsistencyViolation,
 };
 
 /** Human-readable reason name. */
@@ -83,6 +86,14 @@ class DebugSession
     /** Resume the target (restores its energy state afterwards). */
     void resume();
     /// @}
+
+    /**
+     * NV consistency findings accumulated by the attached auditor
+     * (empty when no auditor is attached). Available for any session
+     * reason: a session opened by an assert can still inspect the
+     * WAR history that led up to it.
+     */
+    std::vector<mem::NvFinding> findings() const;
 
   private:
     friend class EdbBoard;

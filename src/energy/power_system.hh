@@ -30,6 +30,12 @@
 #include "sim/simulator.hh"
 #include "sim/time.hh"
 
+namespace edb::sim {
+class SnapshotWriter;
+class SnapshotReader;
+class EventRearmer;
+} // namespace edb::sim
+
 namespace edb::energy {
 
 /** Static electrical parameters of a target power system. */
@@ -213,6 +219,17 @@ class PowerSystem : public sim::Component
     /** Number of brown-out events since construction. */
     std::uint64_t brownOutCount() const { return brownOuts; }
 
+    /**
+     * Serialize the full analog + comparator state: capacitor
+     * voltage, integrator bookkeeping, charge accounting, comparator
+     * counters, per-load/per-source switch state and the pending
+     * self-tick event. Loads and sources are saved positionally, so
+     * save and restore sides must be wired identically (same device
+     * assembly, same construction order).
+     */
+    void saveState(sim::SnapshotWriter &w) const;
+    void restoreState(sim::SnapshotReader &r, sim::EventRearmer &rearmer);
+
   private:
     struct Load
     {
@@ -316,6 +333,9 @@ class PowerSystem : public sim::Component
     double chargeOut = 0.0;
     std::uint64_t boots = 0;
     std::uint64_t brownOuts = 0;
+    /** Pending self-tick (id + absolute due time, for snapshots). */
+    sim::EventId tickEvent = sim::invalidEventId;
+    sim::Tick tickDueAt = 0;
 };
 
 } // namespace edb::energy

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "mcu/mmio_map.hh"
+#include "sim/snapshot.hh"
 
 namespace edb::mcu {
 
@@ -65,6 +66,7 @@ Adc::start(unsigned channel)
     done = false;
     curChannel = channel;
     power.setLoadEnabled(convLoad, true);
+    convDueAt = cursor.now() + cfg.conversionTime;
     convEvent = cursor.scheduleIn(cfg.conversionTime,
                                   [this] { finish(); });
 }
@@ -92,6 +94,37 @@ Adc::powerLost()
     busy = false;
     done = false;
     power.setLoadEnabled(convLoad, false);
+}
+
+void
+Adc::saveState(sim::SnapshotWriter &w) const
+{
+    w.section("adc");
+    w.u32(curChannel);
+    w.u32(value);
+    w.boolean(busy);
+    w.boolean(done);
+    w.pendingEvent(convEvent, convDueAt);
+}
+
+void
+Adc::restoreState(sim::SnapshotReader &r, sim::EventRearmer &rearmer)
+{
+    r.section("adc");
+    curChannel = r.u32();
+    value = r.u32();
+    busy = r.boolean();
+    done = r.boolean();
+    if (convEvent != sim::invalidEventId) {
+        sim().cancel(convEvent);
+        convEvent = sim::invalidEventId;
+    }
+    r.pendingEvent(
+        rearmer, [this] { finish(); },
+        [this](sim::EventId id, sim::Tick due) {
+            convEvent = id;
+            convDueAt = due;
+        });
 }
 
 } // namespace edb::mcu

@@ -23,6 +23,12 @@
 #include "sim/simulator.hh"
 #include "sim/time_cursor.hh"
 
+namespace edb::sim {
+class SnapshotWriter;
+class SnapshotReader;
+class EventRearmer;
+} // namespace edb::sim
+
 namespace edb::mcu {
 
 /** Configuration of the target's on-chip ADC. */
@@ -62,6 +68,13 @@ class Adc : public sim::Component
     /** Abort any conversion (reboot). */
     void powerLost();
 
+    /// @name Snapshot support (see sim/snapshot.hh)
+    /// @{
+    void saveState(sim::SnapshotWriter &w) const;
+    void restoreState(sim::SnapshotReader &r,
+                      sim::EventRearmer &rearmer);
+    /// @}
+
   private:
     void start(unsigned channel);
     void finish();
@@ -76,6 +89,7 @@ class Adc : public sim::Component
     bool busy = false;
     bool done = false;
     sim::EventId convEvent = sim::invalidEventId;
+    sim::Tick convDueAt = 0;
 };
 
 } // namespace edb::mcu

@@ -2,6 +2,7 @@
 
 #include "mcu/mmio_map.hh"
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace edb::mcu {
 
@@ -85,6 +86,27 @@ DebugPort::powerLost()
 {
     setReq(false);
     dbgUart.powerLost();
+}
+
+void
+DebugPort::saveState(sim::SnapshotWriter &w) const
+{
+    w.section("dbgport");
+    w.boolean(req);
+    w.u32(bkptMask);
+    w.u64(markers);
+    dbgUart.saveState(w);
+}
+
+void
+DebugPort::restoreState(sim::SnapshotReader &r,
+                        sim::EventRearmer &rearmer)
+{
+    r.section("dbgport");
+    req = r.boolean(); // raw: restored observers re-attach fresh
+    bkptMask = r.u32();
+    markers = r.u64();
+    dbgUart.restoreState(r, rearmer);
 }
 
 } // namespace edb::mcu

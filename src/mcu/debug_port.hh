@@ -82,6 +82,14 @@ class DebugPort : public sim::Component
     /** Reset on power loss. */
     void powerLost();
 
+    /// @name Snapshot support (see sim/snapshot.hh)
+    /// Includes the nested debug UART.
+    /// @{
+    void saveState(sim::SnapshotWriter &w) const;
+    void restoreState(sim::SnapshotReader &r,
+                      sim::EventRearmer &rearmer);
+    /// @}
+
   private:
     void pulseMarker(std::uint32_t id);
     void setReq(bool level);

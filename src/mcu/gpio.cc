@@ -1,6 +1,7 @@
 #include "mcu/gpio.hh"
 
 #include "mcu/mmio_map.hh"
+#include "sim/snapshot.hh"
 
 namespace edb::mcu {
 
@@ -60,6 +61,22 @@ void
 Gpio::powerLost()
 {
     writeOut(0);
+}
+
+void
+Gpio::saveState(sim::SnapshotWriter &w) const
+{
+    w.section("gpio");
+    w.u32(out);
+    w.u32(in);
+}
+
+void
+Gpio::restoreState(sim::SnapshotReader &r)
+{
+    r.section("gpio");
+    out = r.u32();
+    in = r.u32();
 }
 
 } // namespace edb::mcu

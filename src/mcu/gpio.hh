@@ -19,6 +19,11 @@
 #include "sim/simulator.hh"
 #include "sim/time_cursor.hh"
 
+namespace edb::sim {
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace edb::sim
+
 namespace edb::mcu {
 
 /** 32-pin output/input port with change listeners. */
@@ -49,6 +54,14 @@ class Gpio : public sim::Component
 
     /** Reset on power loss: all outputs low (listeners notified). */
     void powerLost();
+
+    /// @name Snapshot support (see sim/snapshot.hh)
+    /// Restore writes the pin words raw — no listener notifications,
+    /// since the restored run's observers re-attach fresh.
+    /// @{
+    void saveState(sim::SnapshotWriter &w) const;
+    void restoreState(sim::SnapshotReader &r);
+    /// @}
 
   private:
     void writeOut(std::uint32_t value);

@@ -1,6 +1,7 @@
 #include "mcu/i2c.hh"
 
 #include "mcu/mmio_map.hh"
+#include "sim/snapshot.hh"
 
 namespace edb::mcu {
 
@@ -96,6 +97,7 @@ I2cController::start(bool is_read)
     done = false;
     curIsRead = is_read;
     power.setLoadEnabled(busLoad, true);
+    busDueAt = cursor.now() + transactionTime();
     busEvent = cursor.scheduleIn(transactionTime(), [this] { finish(); });
 }
 
@@ -129,6 +131,42 @@ I2cController::powerLost()
     inFlight = false;
     done = false;
     power.setLoadEnabled(busLoad, false);
+}
+
+void
+I2cController::saveState(sim::SnapshotWriter &w) const
+{
+    w.section("i2c");
+    w.u8(curAddr);
+    w.u8(curReg);
+    w.u8(curData);
+    w.boolean(curIsRead);
+    w.boolean(inFlight);
+    w.boolean(done);
+    w.pendingEvent(busEvent, busDueAt);
+}
+
+void
+I2cController::restoreState(sim::SnapshotReader &r,
+                            sim::EventRearmer &rearmer)
+{
+    r.section("i2c");
+    curAddr = r.u8();
+    curReg = r.u8();
+    curData = r.u8();
+    curIsRead = r.boolean();
+    inFlight = r.boolean();
+    done = r.boolean();
+    if (busEvent != sim::invalidEventId) {
+        sim().cancel(busEvent);
+        busEvent = sim::invalidEventId;
+    }
+    r.pendingEvent(
+        rearmer, [this] { finish(); },
+        [this](sim::EventId id, sim::Tick due) {
+            busEvent = id;
+            busDueAt = due;
+        });
 }
 
 } // namespace edb::mcu

@@ -21,6 +21,12 @@
 #include "sim/simulator.hh"
 #include "sim/time_cursor.hh"
 
+namespace edb::sim {
+class SnapshotWriter;
+class SnapshotReader;
+class EventRearmer;
+} // namespace edb::sim
+
 namespace edb::mcu {
 
 /** A slave device on the I2C bus. */
@@ -81,6 +87,13 @@ class I2cController : public sim::Component
     /** Duration of one register transaction on the wire. */
     sim::Tick transactionTime() const;
 
+    /// @name Snapshot support (see sim/snapshot.hh)
+    /// @{
+    void saveState(sim::SnapshotWriter &w) const;
+    void restoreState(sim::SnapshotReader &r,
+                      sim::EventRearmer &rearmer);
+    /// @}
+
   private:
     void start(bool is_read);
     void finish();
@@ -100,6 +113,7 @@ class I2cController : public sim::Component
     bool inFlight = false;
     bool done = false;
     sim::EventId busEvent = sim::invalidEventId;
+    sim::Tick busDueAt = 0;
 };
 
 } // namespace edb::mcu

@@ -1,6 +1,7 @@
 #include "mcu/led.hh"
 
 #include "mcu/mmio_map.hh"
+#include "sim/snapshot.hh"
 
 namespace edb::mcu {
 
@@ -36,6 +37,22 @@ void
 Led::powerLost()
 {
     set(false);
+}
+
+void
+Led::saveState(sim::SnapshotWriter &w) const
+{
+    w.section("led");
+    w.boolean(on);
+    w.u64(blinks);
+}
+
+void
+Led::restoreState(sim::SnapshotReader &r)
+{
+    r.section("led");
+    on = r.boolean();
+    blinks = r.u64();
 }
 
 } // namespace edb::mcu

@@ -18,6 +18,11 @@
 #include "mem/memory.hh"
 #include "sim/simulator.hh"
 
+namespace edb::sim {
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace edb::sim
+
 namespace edb::mcu {
 
 /** A single LED on the target board. */
@@ -38,6 +43,14 @@ class Led : public sim::Component
 
     /** Reset on power loss. */
     void powerLost();
+
+    /// @name Snapshot support (see sim/snapshot.hh)
+    /// Raw member restore; the LED's supply load is restored
+    /// positionally by PowerSystem.
+    /// @{
+    void saveState(sim::SnapshotWriter &w) const;
+    void restoreState(sim::SnapshotReader &r);
+    /// @}
 
   private:
     void set(bool level);

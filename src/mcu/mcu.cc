@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "mcu/mmio_map.hh"
+#include "mem/nv_audit.hh"
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace edb::mcu {
 
@@ -132,6 +134,8 @@ Mcu::loadProgram(const isa::Program &program)
     chkptEnabled = cfg.checkpointingEnabled;
     icacheInvalidateAll();
     invalidateCheckpoints();
+    if (audit_)
+        audit_->reset();
 }
 
 void
@@ -191,11 +195,14 @@ Mcu::onPowerChange(bool on)
         state_ = McuState::Booting;
         power.setLoadCurrent(coreLoad, cfg.activeAmps);
         power.setLoadEnabled(coreLoad, true);
+        bootDueAt = cursor.now() + cfg.bootDelay;
         bootEvent = cursor.scheduleIn(cfg.bootDelay, [this] { boot(); });
         return;
     }
     // Brown-out: volatile state is lost; the board reset hook poisons
     // SRAM and resets peripherals.
+    if (audit_ && state_ != McuState::Off)
+        audit_->onPowerLoss(cursor.now());
     state_ = McuState::Off;
     fault_ = McuFault::None;
     inIrq = false;
@@ -231,11 +238,14 @@ Mcu::boot()
     pc_ = entry;
     state_ = McuState::Running;
     ++reboots;
+    if (audit_)
+        audit_->onBoot(cursor.now());
     power.setLoadCurrent(coreLoad, cfg.activeAmps);
     power.setLoadEnabled(coreLoad, true);
     if (chkptEnabled)
         tryRestore();
-    sliceEvent = sim().schedule(cursor.now(), [this] { runSlice(); });
+    sliceDueAt = cursor.now();
+    sliceEvent = sim().schedule(sliceDueAt, [this] { runSlice(); });
 }
 
 void
@@ -283,8 +293,10 @@ Mcu::runSlice()
                 break;
         }
     }
-    if (state_ == McuState::Running)
+    if (state_ == McuState::Running) {
+        sliceDueAt = t;
         sliceEvent = sim().schedule(t, [this] { runSlice(); });
+    }
 }
 
 bool
@@ -441,6 +453,8 @@ Mcu::step(sim::Tick &t)
     ++instrs;
     if (tracer)
         tracer(pc_, instr);
+    if (audit_)
+        auditExec(instr);
     execute(instr, t + dt);
     t += dt;
     if (state_ != McuState::Running)
@@ -675,6 +689,60 @@ Mcu::execute(const isa::Instr &i, sim::Tick)
     pc_ = next;
 }
 
+void
+Mcu::auditExec(const isa::Instr &i)
+{
+    using isa::Opcode;
+    auto uimm = static_cast<std::uint32_t>(i.imm);
+    switch (i.op) {
+      case Opcode::Ldw:
+        audit_->onLoad(i.rd, regs[i.rs] + uimm, 4);
+        break;
+      case Opcode::Ldb:
+        audit_->onLoad(i.rd, regs[i.rs] + uimm, 1);
+        break;
+      case Opcode::Stw:
+        audit_->onStore(i.rs, regs[i.rs] + uimm, pc_, 4);
+        break;
+      case Opcode::Stb:
+        audit_->onStore(i.rs, regs[i.rs] + uimm, pc_, 1);
+        break;
+      case Opcode::Mov:
+      case Opcode::Addi:
+        audit_->onRegDerive(i.rd, i.rs);
+        break;
+      case Opcode::Add:
+      case Opcode::Sub:
+        audit_->onRegCombine(i.rd, i.rs, i.rt);
+        break;
+      case Opcode::Li:
+      case Opcode::Lui:
+      case Opcode::Mul:
+      case Opcode::Divu:
+      case Opcode::Remu:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Sar:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+      case Opcode::Shli:
+      case Opcode::Shri:
+      case Opcode::Pop:
+        audit_->onRegWrite(i.rd);
+        break;
+      case Opcode::Chkpt:
+        if (chkptEnabled)
+            audit_->onRegWrite(0);
+        break;
+      default:
+        break;
+    }
+}
+
 unsigned
 Mcu::checkpointCostCycles() const
 {
@@ -726,6 +794,8 @@ Mcu::doCheckpoint()
     if (!memWrite32(base + ckSeqOff, next_seq))
         return false;
     ++checkpointsTaken;
+    if (audit_)
+        audit_->onCheckpointCommit(cursor.now());
     return true;
 }
 
@@ -765,6 +835,8 @@ Mcu::tryRestore()
     }
     pc_ = debugRead32(base + ckPcOff);
     ++checkpointsRestored;
+    if (audit_)
+        audit_->onCheckpointRestore(cursor.now());
     return true;
 }
 
@@ -842,6 +914,79 @@ void
 Mcu::debugWrite32(mem::Addr addr, std::uint32_t value)
 {
     mem_.write32(addr, value);
+}
+
+void
+Mcu::saveState(sim::SnapshotWriter &w) const
+{
+    w.section("mcu");
+    for (std::uint32_t r : regs)
+        w.u32(r);
+    w.u32(pc_);
+    w.u32(flags_.pack());
+    w.u8(static_cast<std::uint8_t>(state_));
+    w.u8(static_cast<std::uint8_t>(fault_));
+    w.u32(entry);
+    w.u32(irqHandler);
+    w.boolean(irqLine);
+    w.boolean(inIrq);
+    w.boolean(chkptEnabled);
+    w.u64(sleepCycles);
+    w.u64(cycles);
+    w.u64(instrs);
+    w.u64(reboots);
+    w.u64(faults);
+    w.u64(checkpointsTaken);
+    w.u64(checkpointsRestored);
+    w.pendingEvent(sliceEvent, sliceDueAt);
+    w.pendingEvent(bootEvent, bootDueAt);
+}
+
+void
+Mcu::restoreState(sim::SnapshotReader &r, sim::EventRearmer &rearmer)
+{
+    r.section("mcu");
+    for (std::uint32_t &reg : regs)
+        reg = r.u32();
+    pc_ = r.u32();
+    flags_ = isa::Flags::unpack(r.u32());
+    state_ = static_cast<McuState>(r.u8());
+    fault_ = static_cast<McuFault>(r.u8());
+    entry = r.u32();
+    irqHandler = r.u32();
+    irqLine = r.boolean();
+    inIrq = r.boolean();
+    chkptEnabled = r.boolean();
+    sleepCycles = r.u64();
+    cycles = r.u64();
+    instrs = r.u64();
+    reboots = r.u64();
+    faults = r.u64();
+    checkpointsTaken = r.u64();
+    checkpointsRestored = r.u64();
+    // The predecode cache is an epoch artifact, not architectural
+    // state: drop it and let it refill (bit-identical either way).
+    icacheInvalidateAll();
+    if (sliceEvent != sim::invalidEventId) {
+        sim().cancel(sliceEvent);
+        sliceEvent = sim::invalidEventId;
+    }
+    if (bootEvent != sim::invalidEventId) {
+        sim().cancel(bootEvent);
+        bootEvent = sim::invalidEventId;
+    }
+    r.pendingEvent(
+        rearmer, [this] { runSlice(); },
+        [this](sim::EventId id, sim::Tick due) {
+            sliceEvent = id;
+            sliceDueAt = due;
+        });
+    r.pendingEvent(
+        rearmer, [this] { boot(); },
+        [this](sim::EventId id, sim::Tick due) {
+            bootEvent = id;
+            bootDueAt = due;
+        });
 }
 
 } // namespace edb::mcu

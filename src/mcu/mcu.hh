@@ -27,6 +27,16 @@
 #include "sim/simulator.hh"
 #include "sim/time_cursor.hh"
 
+namespace edb::mem {
+class NvAuditor;
+} // namespace edb::mem
+
+namespace edb::sim {
+class SnapshotWriter;
+class SnapshotReader;
+class EventRearmer;
+} // namespace edb::sim
+
 namespace edb::mcu {
 
 /** Static configuration of the MCU core. */
@@ -165,6 +175,22 @@ class Mcu : public sim::Component
     /** Optional instruction tracer (tests, debugging). */
     void setTracer(Tracer t) { tracer = std::move(t); }
 
+    /**
+     * Attach the NV consistency auditor (nullptr detaches). The core
+     * drives its register-taint machine and lifecycle hooks; the
+     * owner must also install `mem::NvAuditor::rawWriteHook` on the
+     * memory map so erasing writes are seen regardless of source.
+     */
+    void setAuditor(mem::NvAuditor *auditor) { audit_ = auditor; }
+    mem::NvAuditor *auditor() const { return audit_; }
+
+    /// @name Snapshot support (see sim/snapshot.hh)
+    /// @{
+    void saveState(sim::SnapshotWriter &w) const;
+    void restoreState(sim::SnapshotReader &r,
+                      sim::EventRearmer &rearmer);
+    /// @}
+
     /** Live checkpoint-unit enable (also via MMIO chkptCtl). */
     void setCheckpointingEnabled(bool on) { chkptEnabled = on; }
     bool checkpointingEnabled() const { return chkptEnabled; }
@@ -223,6 +249,10 @@ class Mcu : public sim::Component
     /** Drop every predecoded instruction (loadProgram, brown-out). */
     void icacheInvalidateAll();
     void execute(const isa::Instr &instr, sim::Tick t);
+    /** Feed the auditor's taint machine; runs on the pre-execute
+     *  register file so effective addresses match the instruction
+     *  about to commit. */
+    void auditExec(const isa::Instr &instr);
     void raiseFault(McuFault cause);
     void enterIrq();
     void setFlagsFromCompare(std::uint32_t a, std::uint32_t b);
@@ -261,6 +291,11 @@ class Mcu : public sim::Component
 
     sim::EventId sliceEvent = sim::invalidEventId;
     sim::EventId bootEvent = sim::invalidEventId;
+    /** Due times of the pending events (snapshot save). */
+    sim::Tick sliceDueAt = 0;
+    sim::Tick bootDueAt = 0;
+
+    mem::NvAuditor *audit_ = nullptr;
 
     /** Predecoded instruction cache, indexed by (pc - icacheBase)/4.
      *  Validity lives in a separate byte vector so wholesale

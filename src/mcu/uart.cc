@@ -1,5 +1,7 @@
 #include "mcu/uart.hh"
 
+#include "sim/snapshot.hh"
+
 namespace edb::mcu {
 
 Uart::Uart(sim::Simulator &simulator, std::string component_name,
@@ -69,6 +71,7 @@ Uart::startTx(std::uint8_t byte)
     busy = true;
     shifting = byte;
     power.setLoadEnabled(txLoad, true);
+    txDueAt = cursor.now() + byteTime();
     txEvent = cursor.scheduleIn(byteTime(), [this] { finishTx(); });
 }
 
@@ -105,6 +108,45 @@ Uart::powerLost()
     busy = false;
     power.setLoadEnabled(txLoad, false);
     rxFifo.clear();
+}
+
+void
+Uart::saveState(sim::SnapshotWriter &w) const
+{
+    w.section("uart");
+    w.boolean(busy);
+    w.u8(shifting);
+    w.u64(txCount);
+    w.u64(txDropped);
+    w.u32(static_cast<std::uint32_t>(rxFifo.size()));
+    for (std::uint8_t b : rxFifo)
+        w.u8(b);
+    w.pendingEvent(txEvent, txDueAt);
+}
+
+void
+Uart::restoreState(sim::SnapshotReader &r, sim::EventRearmer &rearmer)
+{
+    r.section("uart");
+    busy = r.boolean();
+    shifting = r.u8();
+    txCount = r.u64();
+    txDropped = r.u64();
+    rxFifo.clear();
+    std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n && r.ok(); ++i)
+        rxFifo.push_back(r.u8());
+    // The txLoad enable is restored positionally by PowerSystem.
+    if (txEvent != sim::invalidEventId) {
+        sim().cancel(txEvent);
+        txEvent = sim::invalidEventId;
+    }
+    r.pendingEvent(
+        rearmer, [this] { finishTx(); },
+        [this](sim::EventId id, sim::Tick due) {
+            txEvent = id;
+            txDueAt = due;
+        });
 }
 
 } // namespace edb::mcu

@@ -23,6 +23,12 @@
 #include "sim/simulator.hh"
 #include "sim/time_cursor.hh"
 
+namespace edb::sim {
+class SnapshotWriter;
+class SnapshotReader;
+class EventRearmer;
+} // namespace edb::sim
+
 namespace edb::mcu {
 
 /** Configuration of a UART instance. */
@@ -84,6 +90,13 @@ class Uart : public sim::Component
     /** Abort any in-flight byte and clear FIFOs (reboot). */
     void powerLost();
 
+    /// @name Snapshot support (see sim/snapshot.hh)
+    /// @{
+    void saveState(sim::SnapshotWriter &w) const;
+    void restoreState(sim::SnapshotReader &r,
+                      sim::EventRearmer &rearmer);
+    /// @}
+
   private:
     void startTx(std::uint8_t byte);
     void finishTx();
@@ -97,6 +110,7 @@ class Uart : public sim::Component
     bool busy = false;
     std::uint8_t shifting = 0;
     sim::EventId txEvent = sim::invalidEventId;
+    sim::Tick txDueAt = 0;
     std::uint64_t txCount = 0;
     std::uint64_t txDropped = 0;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace edb::mem {
 
@@ -93,6 +94,32 @@ Ram::load(Addr addr, const std::uint8_t *data, std::size_t len)
     if (addr < base() || addr + len > base() + size())
         sim::fatal("Ram::load: image does not fit region ", name());
     std::copy(data, data + len, store.begin() + (addr - base()));
+}
+
+void
+Ram::saveState(sim::SnapshotWriter &w) const
+{
+    w.section("ram");
+    w.blob(store.data(), store.size());
+    w.u64(writes);
+}
+
+void
+Ram::restoreState(sim::SnapshotReader &r)
+{
+    r.section("ram");
+    std::vector<std::uint8_t> contents = r.blob();
+    if (contents.size() != store.size()) {
+        // Size mismatch means the snapshot was taken on a different
+        // memory layout; leave contents alone and let the caller's
+        // ok() check reject the restore.
+        r.invalidate();
+        return;
+    }
+    // Copy in place: the backing buffer must not move, other parts
+    // of the system (direct-store readers) hold pointers into it.
+    std::copy(contents.begin(), contents.end(), store.begin());
+    writes = r.u64();
 }
 
 MmioRegion::MmioRegion(std::string region_name, Addr base_addr,
@@ -232,13 +259,13 @@ MemoryMap::write8(Addr addr, std::uint8_t value) const
         // directStore() implies Ram (see setDirectStore): call it
         // non-virtually so the interpreter's store path stays flat.
         static_cast<Ram *>(r)->Ram::write8(addr, value);
-        noteWrite(addr);
+        noteWrite(addr, 1);
         return AccessResult::Ok;
     }
     if (r->kind() == RegionKind::Mmio)
         mmioHit = true;
     r->write8(addr, value);
-    noteWrite(addr);
+    noteWrite(addr, 1);
     return AccessResult::Ok;
 }
 
@@ -275,13 +302,13 @@ MemoryMap::write32(Addr addr, std::uint32_t value) const
     if (r->directStore()) {
         // directStore() implies Ram (see setDirectStore).
         static_cast<Ram *>(r)->Ram::write32(addr, value);
-        noteWrite(addr);
+        noteWrite(addr, 4);
         return AccessResult::Ok;
     }
     if (r->kind() == RegionKind::Mmio)
         mmioHit = true;
     r->write32(addr, value);
-    noteWrite(addr);
+    noteWrite(addr, 4);
     return AccessResult::Ok;
 }
 

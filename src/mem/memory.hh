@@ -20,6 +20,11 @@
 #include <string>
 #include <vector>
 
+namespace edb::sim {
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace edb::sim
+
 namespace edb::mem {
 
 /** Target address. The EH32 address space is 64 KiB. */
@@ -127,9 +132,15 @@ class Ram : public Region
 
     /** Direct backing-store access for instruments/tests. */
     std::vector<std::uint8_t> &bytes() { return store; }
+    const std::uint8_t *data() const { return store.data(); }
 
     /** Number of writes since construction (wear statistics). */
     std::uint64_t writeCount() const { return writes; }
+
+    /** Serialize contents + wear counter. */
+    void saveState(sim::SnapshotWriter &w) const;
+    /** Restore contents + wear counter (sizes must match). */
+    void restoreState(sim::SnapshotReader &r);
 
   private:
     std::vector<std::uint8_t> store;
@@ -236,6 +247,24 @@ class MemoryMap
     void clearWriteWatch();
 
     /**
+     * Observer of every *routed* write (program stores, checkpoint
+     * unit, debugger pokes), called after the write commits with the
+     * address and width in bytes. One observer at most; used by the
+     * non-volatile consistency auditor. A plain function pointer +
+     * context keeps the disabled case to one null check on the store
+     * path. Writes that bypass the map (Ram::load, Ram::powerLoss)
+     * are NOT observed, mirroring the write watch above.
+     */
+    using WriteHookFn = void (*)(void *ctx, Addr addr, unsigned width);
+    void
+    setWriteHook(WriteHookFn fn, void *ctx)
+    {
+        writeHookFn = fn;
+        writeHookCtx = ctx;
+    }
+    void clearWriteHook() { writeHookFn = nullptr; }
+
+    /**
      * Sticky flag: set whenever a routed access lands in an MMIO
      * region (the only accesses that can schedule simulator events
      * or change power loads). The MCU's batched slice loop clears it
@@ -246,12 +275,14 @@ class MemoryMap
 
   private:
     void
-    noteWrite(Addr addr) const
+    noteWrite(Addr addr, unsigned width) const
     {
         // Single unsigned compare: watchSpan is 0 when no watch is
         // installed, so the branch is never taken then.
         if (addr - watchLo < watchSpan)
             watchValid[(addr - watchLo) >> 2] = 0;
+        if (writeHookFn)
+            writeHookFn(writeHookCtx, addr, width);
     }
 
     std::vector<Region *> list;
@@ -262,6 +293,8 @@ class MemoryMap
     Addr watchLo = 0;
     Addr watchSpan = 0;
     std::uint8_t *watchValid = nullptr;
+    WriteHookFn writeHookFn = nullptr;
+    void *writeHookCtx = nullptr;
 };
 
 } // namespace edb::mem

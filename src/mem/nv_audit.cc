@@ -1,0 +1,272 @@
+#include "mem/nv_audit.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/snapshot.hh"
+
+namespace edb::mem {
+
+std::string
+nvFindingText(const NvFinding &finding)
+{
+    std::ostringstream os;
+    os << "WAR violation: store at pc=0x" << std::hex << finding.storePc
+       << " wrote NV 0x" << finding.storeAddr
+       << " through a value loaded from NV 0x" << finding.guideAddr
+       << std::dec << " in reboot interval " << finding.interval
+       << "; power failed at tick " << finding.lossTick
+       << " before a checkpoint committed the interval";
+    return os.str();
+}
+
+NvAuditor::NvAuditor(NvAuditConfig config, Ram &nv_region)
+    : cfg(config), nv(nv_region)
+{
+    if (cfg.nvSize == 0) {
+        cfg.nvBase = nv.base();
+        cfg.nvSize = nv.size();
+    }
+    if (cfg.nvBase < nv.base() ||
+        cfg.nvBase + cfg.nvSize > nv.base() + nv.size())
+        sim::fatal("NvAuditor: audited range outside region ", nv.name());
+}
+
+void
+NvAuditor::onLoad(unsigned rd, Addr ea, unsigned width)
+{
+    (void)width;
+    if (rd >= numRegs)
+        return;
+    if (audited(ea)) {
+        tainted[rd] = true;
+        guide[rd] = ea;
+        ++readsThisInterval;
+    } else {
+        tainted[rd] = false;
+    }
+}
+
+void
+NvAuditor::onRegDerive(unsigned rd, unsigned rs)
+{
+    if (rd >= numRegs || rs >= numRegs)
+        return;
+    tainted[rd] = tainted[rs];
+    guide[rd] = guide[rs];
+}
+
+void
+NvAuditor::onRegCombine(unsigned rd, unsigned rs, unsigned rt)
+{
+    if (rd >= numRegs || rs >= numRegs || rt >= numRegs)
+        return;
+    if (tainted[rs]) {
+        tainted[rd] = true;
+        guide[rd] = guide[rs];
+    } else if (tainted[rt]) {
+        tainted[rd] = true;
+        guide[rd] = guide[rt];
+    } else {
+        tainted[rd] = false;
+    }
+}
+
+void
+NvAuditor::onRegWrite(unsigned rd)
+{
+    if (rd < numRegs)
+        tainted[rd] = false;
+}
+
+void
+NvAuditor::onStore(unsigned base, Addr ea, Addr pc, unsigned width)
+{
+    (void)width;
+    if (base >= numRegs || !tainted[base])
+        return;
+    if (!audited(ea))
+        return;
+    records.push_back(Record{guide[base], ea, pc, interval});
+}
+
+void
+NvAuditor::onNvWrite(Addr addr, unsigned width)
+{
+    ++writesThisInterval;
+    // A write over a guide address closes the records it guides: the
+    // interval updated the read's source itself, so a replay of the
+    // interval re-derives the value (benign read-modify-write).
+    for (std::size_t i = 0; i < records.size();) {
+        Addr g = records[i].guideAddr;
+        if (g - addr < width) {
+            records[i] = records.back();
+            records.pop_back();
+        } else {
+            ++i;
+        }
+    }
+}
+
+void
+NvAuditor::rawWriteHook(void *ctx, Addr addr, unsigned width)
+{
+    auto *self = static_cast<NvAuditor *>(ctx);
+    if (self->audited(addr))
+        self->onNvWrite(addr, width);
+}
+
+void
+NvAuditor::onBoot(sim::Tick now)
+{
+    (void)now;
+    ++interval;
+    readsThisInterval = 0;
+    writesThisInterval = 0;
+    tainted.fill(false);
+    records.clear();
+}
+
+void
+NvAuditor::onPowerLoss(sim::Tick now)
+{
+    for (const Record &rec : records) {
+        ++violations;
+        if (findings_.size() < cfg.maxFindings)
+            findings_.push_back(NvFinding{rec.guideAddr, rec.storeAddr,
+                                          rec.storePc, rec.interval,
+                                          now});
+    }
+    records.clear();
+    tainted.fill(false);
+}
+
+void
+NvAuditor::onCheckpointCommit(sim::Tick now)
+{
+    // The interval's NV image is now the recovery point; open records
+    // are committed, not time-travelling.
+    records.clear();
+    Addr off = cfg.nvBase - nv.base();
+    shadow.assign(nv.data() + off, nv.data() + off + cfg.nvSize);
+    shadowValid_ = true;
+    shadowTick_ = now;
+}
+
+void
+NvAuditor::onCheckpointRestore(sim::Tick now)
+{
+    (void)now;
+    // Execution resumes from committed state: anything tracked in the
+    // aborted tail is irrelevant to the replayed interval.
+    records.clear();
+    tainted.fill(false);
+}
+
+void
+NvAuditor::reset()
+{
+    tainted.fill(false);
+    records.clear();
+    findings_.clear();
+    violations = 0;
+    interval = 0;
+    readsThisInterval = 0;
+    writesThisInterval = 0;
+    shadow.clear();
+    shadowValid_ = false;
+    shadowTick_ = 0;
+}
+
+std::vector<NvFinding>
+NvAuditor::takeFindings()
+{
+    std::vector<NvFinding> out;
+    out.swap(findings_);
+    return out;
+}
+
+void
+NvAuditor::saveState(sim::SnapshotWriter &w) const
+{
+    w.section("nvau");
+    for (unsigned r = 0; r < numRegs; ++r) {
+        w.boolean(tainted[r]);
+        w.u32(guide[r]);
+    }
+    w.u32(static_cast<std::uint32_t>(records.size()));
+    for (const Record &rec : records) {
+        w.u32(rec.guideAddr);
+        w.u32(rec.storeAddr);
+        w.u32(rec.storePc);
+        w.u64(rec.interval);
+    }
+    w.u32(static_cast<std::uint32_t>(findings_.size()));
+    for (const NvFinding &f : findings_) {
+        w.u32(f.guideAddr);
+        w.u32(f.storeAddr);
+        w.u32(f.storePc);
+        w.u64(f.interval);
+        w.tick(f.lossTick);
+    }
+    w.u64(violations);
+    w.u64(interval);
+    w.u64(readsThisInterval);
+    w.u64(writesThisInterval);
+    w.boolean(shadowValid_);
+    w.tick(shadowTick_);
+    w.blob(shadow.data(), shadow.size());
+}
+
+void
+NvAuditor::restoreState(sim::SnapshotReader &r)
+{
+    if (!r.section("nvau"))
+        return;
+    for (unsigned i = 0; i < numRegs; ++i) {
+        tainted[i] = r.boolean();
+        guide[i] = r.u32();
+    }
+    records.resize(r.u32());
+    for (Record &rec : records) {
+        rec.guideAddr = r.u32();
+        rec.storeAddr = r.u32();
+        rec.storePc = r.u32();
+        rec.interval = r.u64();
+    }
+    findings_.resize(r.u32());
+    for (NvFinding &f : findings_) {
+        f.guideAddr = r.u32();
+        f.storeAddr = r.u32();
+        f.storePc = r.u32();
+        f.interval = r.u64();
+        f.lossTick = r.tick();
+    }
+    violations = r.u64();
+    interval = r.u64();
+    readsThisInterval = r.u64();
+    writesThisInterval = r.u64();
+    shadowValid_ = r.boolean();
+    shadowTick_ = r.tick();
+    shadow = r.blob();
+}
+
+std::vector<Addr>
+NvAuditor::shadowDiff(std::size_t limit) const
+{
+    std::vector<Addr> diffs;
+    if (!shadowValid_)
+        return diffs;
+    Addr off = cfg.nvBase - nv.base();
+    const std::uint8_t *live = nv.data() + off;
+    for (Addr i = 0; i < cfg.nvSize && diffs.size() < limit; ++i) {
+        Addr addr = cfg.nvBase + i;
+        if (addr - cfg.checkpointBase < cfg.checkpointSpan)
+            continue;
+        if (live[i] != shadow[i])
+            diffs.push_back(addr);
+    }
+    return diffs;
+}
+
+} // namespace edb::mem

@@ -22,6 +22,12 @@
 #include "sim/simulator.hh"
 #include "sim/time_cursor.hh"
 
+namespace edb::sim {
+class SnapshotWriter;
+class SnapshotReader;
+class EventRearmer;
+} // namespace edb::sim
+
 namespace edb::rfid {
 
 class RfChannel;
@@ -65,6 +71,17 @@ class RfFrontend : public sim::Component
     std::uint64_t framesDroppedUnpowered() const { return rxDropped; }
     /// @}
 
+    /// @name Snapshot support (see sim/snapshot.hh)
+    /// Restoring mid-backscatter rearms the completion event but does
+    /// not re-send on the channel: the original frame is already in
+    /// flight from the saved run's perspective, and reader-side state
+    /// is outside the tag snapshot boundary.
+    /// @{
+    void saveState(sim::SnapshotWriter &w) const;
+    void restoreState(sim::SnapshotReader &r,
+                      sim::EventRearmer &rearmer);
+    /// @}
+
   private:
     void startTx();
     void finishTx();
@@ -80,6 +97,7 @@ class RfFrontend : public sim::Component
     std::vector<std::uint8_t> txFrame;
     bool txActive = false;
     sim::EventId txEvent = sim::invalidEventId;
+    sim::Tick txDueAt = 0;
 
     std::uint64_t rxCount = 0;
     std::uint64_t txCount = 0;

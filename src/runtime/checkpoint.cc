@@ -31,6 +31,13 @@ checkpointSource()
 
 ; rt_checkpoint: take a checkpoint unconditionally. r0 = 1 on
 ; success (hardware unit enabled and slot fit), 0 otherwise.
+;
+; The CHKPT instruction is also the commit point the NV consistency
+; auditor observes (mem/nv_audit.hh): a successful checkpoint closes
+; the reboot interval's open write-after-read records and commits the
+; shadow FRAM. A failed checkpoint (r0 = 0: unit disabled or stack
+; overflow) commits nothing -- open records stay live, so a later
+; power failure still reports them.
 rt_checkpoint:
     chkpt
     ret

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/snapshot.hh"
+
 namespace edb::sensors {
 
 Accelerometer::Accelerometer(sim::Simulator &simulator,
@@ -81,6 +83,34 @@ Accelerometer::writeReg(std::uint8_t reg, std::uint8_t value)
 {
     if (reg == accel_reg::ctrl)
         ctrlReg = value;
+}
+
+void
+Accelerometer::saveState(sim::SnapshotWriter &w) const
+{
+    w.section("accel");
+    w.boolean(isMoving);
+    w.tick(stateUntil);
+    w.u32(static_cast<std::uint16_t>(x));
+    w.u32(static_cast<std::uint16_t>(y));
+    w.u32(static_cast<std::uint16_t>(z));
+    w.u8(ctrlReg);
+    w.u64(samples);
+    w.u64(movingLatched);
+}
+
+void
+Accelerometer::restoreState(sim::SnapshotReader &r)
+{
+    r.section("accel");
+    isMoving = r.boolean();
+    stateUntil = r.tick();
+    x = static_cast<std::int16_t>(static_cast<std::uint16_t>(r.u32()));
+    y = static_cast<std::int16_t>(static_cast<std::uint16_t>(r.u32()));
+    z = static_cast<std::int16_t>(static_cast<std::uint16_t>(r.u32()));
+    ctrlReg = r.u8();
+    samples = r.u64();
+    movingLatched = r.u64();
 }
 
 } // namespace edb::sensors

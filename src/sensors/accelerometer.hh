@@ -18,6 +18,11 @@
 #include "mcu/i2c.hh"
 #include "sim/simulator.hh"
 
+namespace edb::sim {
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace edb::sim
+
 namespace edb::sensors {
 
 /** Accelerometer register map. */
@@ -68,6 +73,15 @@ class Accelerometer : public sim::Component, public mcu::I2cDevice
 
     /** Ground-truth count of samples latched while moving. */
     std::uint64_t movingSamples() const { return movingLatched; }
+
+    /// @name Snapshot support (see sim/snapshot.hh)
+    /// The motion profile draws the shared simulator RNG, which the
+    /// snapshot restores separately; only the latched state lives
+    /// here.
+    /// @{
+    void saveState(sim::SnapshotWriter &w) const;
+    void restoreState(sim::SnapshotReader &r);
+    /// @}
 
   private:
     void maybeAdvanceState();

@@ -1,5 +1,7 @@
 #include "sim/fault.hh"
 
+#include "sim/snapshot.hh"
+
 namespace edb::sim {
 
 FaultInjector::FaultInjector(Simulator &simulator,
@@ -67,6 +69,14 @@ FaultInjector::inFadeSeconds(double seconds) const
 }
 
 void
+FaultInjector::fireBrownOut()
+{
+    ++stats_.brownOutsForced;
+    if (brownOutFn)
+        brownOutFn();
+}
+
+void
 FaultInjector::armBrownOuts(std::function<void()> fire)
 {
     brownOutFn = std::move(fire);
@@ -75,11 +85,8 @@ FaultInjector::armBrownOuts(std::function<void()> fire)
     for (Tick at : plan_.brownOutAtTick) {
         if (at < now())
             continue;
-        sim().schedule(at, [this] {
-            ++stats_.brownOutsForced;
-            if (brownOutFn)
-                brownOutFn();
-        });
+        EventId id = sim().schedule(at, [this] { fireBrownOut(); });
+        armed_.emplace_back(id, at);
     }
 }
 
@@ -92,6 +99,60 @@ FaultInjector::onInstruction()
         ++stats_.brownOutsForced;
         if (brownOutFn)
             brownOutFn();
+    }
+}
+
+void
+FaultInjector::saveState(SnapshotWriter &w) const
+{
+    w.section("fault");
+    w.rng(rng);
+    w.u64(instrCount);
+    w.u64(stats_.wireBytes);
+    w.u64(stats_.corrupted);
+    w.u64(stats_.dropped);
+    w.u64(stats_.duplicated);
+    w.u64(stats_.adcGlitches);
+    w.u64(stats_.brownOutsForced);
+    // Only brown-outs still in the future are queue residue; fired
+    // ones linger in armed_ but are history, not pending state.
+    std::uint32_t live = 0;
+    for (const auto &[id, when] : armed_) {
+        if (when > now())
+            ++live;
+    }
+    w.u32(live);
+    for (const auto &[id, when] : armed_) {
+        if (when > now())
+            w.pendingEvent(id, when);
+    }
+}
+
+void
+FaultInjector::restoreState(SnapshotReader &r, EventRearmer &rearmer)
+{
+    r.section("fault");
+    r.rng(rng);
+    instrCount = r.u64();
+    stats_.wireBytes = r.u64();
+    stats_.corrupted = r.u64();
+    stats_.dropped = r.u64();
+    stats_.duplicated = r.u64();
+    stats_.adcGlitches = r.u64();
+    stats_.brownOutsForced = r.u64();
+    for (const auto &[id, when] : armed_) {
+        if (when > now())
+            sim().cancel(id);
+    }
+    armed_.clear();
+    std::uint32_t live = r.u32();
+    for (std::uint32_t i = 0; i < live && r.ok(); ++i) {
+        r.pendingEvent(
+            rearmer, [this] { fireBrownOut(); },
+            [this](EventId id, Tick due) {
+                if (id != invalidEventId)
+                    armed_.emplace_back(id, due);
+            });
     }
 }
 

@@ -31,6 +31,10 @@
 
 namespace edb::sim {
 
+class SnapshotWriter;
+class SnapshotReader;
+class EventRearmer;
+
 /** A window during which the ambient energy source is gone. */
 struct FadeWindow
 {
@@ -126,13 +130,26 @@ class FaultInjector : public Component
 
     const Stats &stats() const { return stats_; }
 
+    /// @name Snapshot support (see sim/snapshot.hh)
+    /// Restore rearms only brown-out events still in the future,
+    /// using the callback from the live `armBrownOuts` call — the
+    /// plan itself is construction config and must match.
+    /// @{
+    void saveState(SnapshotWriter &w) const;
+    void restoreState(SnapshotReader &r, EventRearmer &rearmer);
+    /// @}
+
   private:
+    void fireBrownOut();
+
     FaultPlan plan_;
     /** Private stream: never the simulator's shared RNG, so an
      *  enabled-but-idle injector cannot perturb other models. */
     Rng rng;
     std::function<void()> brownOutFn;
     std::uint64_t instrCount = 0;
+    /** Armed brown-out events: (id, due tick), snapshot residue. */
+    std::vector<std::pair<EventId, Tick>> armed_;
     Stats stats_;
 };
 

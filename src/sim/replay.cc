@@ -1,0 +1,138 @@
+#include "sim/replay.hh"
+
+#include <algorithm>
+
+#include "sim/simulator.hh"
+#include "sim/snapshot.hh"
+
+namespace edb::sim {
+
+void
+ScheduleLog::truncateAfter(Tick at)
+{
+    log.erase(std::remove_if(log.begin(), log.end(),
+                             [at](const ScheduleEntry &e) {
+                                 return e.at > at;
+                             }),
+              log.end());
+}
+
+void
+ScheduleLog::saveState(SnapshotWriter &w) const
+{
+    w.section("sched");
+    w.u32(static_cast<std::uint32_t>(log.size()));
+    for (const ScheduleEntry &e : log) {
+        w.tick(e.at);
+        w.u32(e.op);
+        w.f64(e.arg);
+    }
+}
+
+void
+ScheduleLog::restoreState(SnapshotReader &r)
+{
+    r.section("sched");
+    log.clear();
+    std::uint32_t n = r.u32();
+    log.reserve(n);
+    for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+        ScheduleEntry e;
+        e.at = r.tick();
+        e.op = r.u32();
+        e.arg = r.f64();
+        log.push_back(e);
+    }
+}
+
+void
+SchedulePlayer::arm(const ScheduleLog &log, Tick from, ApplyFn apply)
+{
+    cancel();
+    applyFn = std::move(apply);
+    for (const ScheduleEntry &e : log.entries()) {
+        if (e.at <= from)
+            continue;
+        // Copy the entry into the closure: the log may mutate (the
+        // supervisor keeps recording) while the replay is armed.
+        ScheduleEntry entry = e;
+        EventId id = sim_.schedule(e.at, [this, entry] {
+            ++firedCount;
+            if (applyFn)
+                applyFn(entry);
+        });
+        armed.push_back(id);
+        ++armedCount;
+    }
+}
+
+void
+SchedulePlayer::cancel()
+{
+    for (EventId id : armed)
+        sim_.cancel(id);
+    armed.clear();
+    armedCount = 0;
+    firedCount = 0;
+}
+
+bool
+ProgressMonitor::update(std::uint64_t reboots, std::uint64_t commits)
+{
+    if (!primed) {
+        rebase(reboots, commits);
+        return tripped_;
+    }
+    if (commits > lastCommits) {
+        lastCommits = commits;
+        lastReboots = reboots;
+        sinceCommit = 0;
+        tripped_ = false;
+    } else if (reboots >= lastReboots) {
+        sinceCommit = reboots - lastReboots;
+    } else {
+        // Counters went backwards without a rebase: treat as one.
+        rebase(reboots, commits);
+        return tripped_;
+    }
+    if (sinceCommit >= maxReboots)
+        tripped_ = true;
+    return tripped_;
+}
+
+void
+ProgressMonitor::rebase(std::uint64_t reboots, std::uint64_t commits)
+{
+    lastReboots = reboots;
+    lastCommits = commits;
+    sinceCommit = 0;
+    primed = true;
+    tripped_ = false;
+}
+
+void
+ProgressMonitor::saveState(SnapshotWriter &w) const
+{
+    w.section("pmon");
+    w.u64(maxReboots);
+    w.u64(lastReboots);
+    w.u64(lastCommits);
+    w.u64(sinceCommit);
+    w.boolean(primed);
+    w.boolean(tripped_);
+}
+
+void
+ProgressMonitor::restoreState(SnapshotReader &r)
+{
+    if (!r.section("pmon"))
+        return;
+    maxReboots = r.u64();
+    lastReboots = r.u64();
+    lastCommits = r.u64();
+    sinceCommit = r.u64();
+    primed = r.boolean();
+    tripped_ = r.boolean();
+}
+
+} // namespace edb::sim

@@ -60,6 +60,45 @@ class Mt64
 
     static constexpr result_type defaultSeed = 5489;
 
+    /**
+     * Full engine state, exportable for snapshots: the 312-word
+     * twist state, the tempered output buffer, and the read index.
+     * Restoring a saved State resumes the draw stream exactly where
+     * it left off, mid-block included (the output buffer is part of
+     * the state precisely so a snapshot taken between refills does
+     * not replay or skip draws).
+     */
+    struct State
+    {
+        result_type state[312];
+        result_type out[312];
+        std::uint32_t index;
+    };
+
+    State
+    exportState() const
+    {
+        State s;
+        for (unsigned i = 0; i < n; ++i) {
+            s.state[i] = state[i];
+            s.out[i] = out[i];
+        }
+        s.index = index;
+        return s;
+    }
+
+    void
+    importState(const State &s)
+    {
+        for (unsigned i = 0; i < n; ++i) {
+            state[i] = s.state[i];
+            out[i] = s.out[i];
+        }
+        // Clamp a corrupt index to "buffer exhausted": the next draw
+        // refills instead of reading out[] out of bounds.
+        index = s.index > n ? n : s.index;
+    }
+
   private:
     static constexpr unsigned n = 312;
     static constexpr unsigned m = 156;
@@ -196,6 +235,12 @@ class Rng
 
     /** Access to the raw engine for std distributions. */
     Mt64 &raw() { return engine; }
+
+    /** Export the complete engine state (for snapshots). */
+    Mt64::State exportState() const { return engine.exportState(); }
+
+    /** Restore a previously exported engine state. */
+    void importState(const Mt64::State &s) { engine.importState(s); }
 
   private:
     Mt64 engine;

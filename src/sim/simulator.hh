@@ -44,6 +44,7 @@ class Simulator
 
     /** Deterministic RNG shared by all stochastic models. */
     Rng &rng() { return rngState; }
+    const Rng &rng() const { return rngState; }
 
     /** Schedule a callback at an absolute time (must be >= now). */
     EventId
@@ -119,6 +120,13 @@ class Simulator
 
     /** Request that the current `run*` call return after this event. */
     void stop() { stopping = true; }
+
+    /**
+     * Force the event clock (snapshot restore only). Must not be
+     * called while a `run*` call is in progress, and the caller is
+     * responsible for rescheduling any pending events consistently.
+     */
+    void restoreClock(Tick t) { currentTick = t; }
 
     /** Register a component for enumeration (non-owning). */
     void addComponent(Component *component)

@@ -51,6 +51,12 @@ class TimeCursor
 
     Simulator &simulator() { return sim_; }
 
+    /** Raw local clock (snapshot save). */
+    Tick localTime() const { return local; }
+
+    /** Force the local clock (snapshot restore only). */
+    void restoreLocal(Tick t) { local = t; }
+
   private:
     Simulator &sim_;
     Tick local = 0;

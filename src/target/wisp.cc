@@ -1,6 +1,7 @@
 #include "target/wisp.hh"
 
 #include "rfid/channel.hh"
+#include "sim/snapshot.hh"
 
 namespace edb::target {
 
@@ -83,6 +84,57 @@ void
 Wisp::start()
 {
     power_.start();
+}
+
+void
+Wisp::saveState(sim::SnapshotWriter &w) const
+{
+    w.section("wisp");
+    w.tick(sim().now());
+    w.tick(cursor.localTime());
+    w.rng(sim().rng());
+    power_.saveState(w);
+    sram.saveState(w);
+    fram.saveState(w);
+    gpio_.saveState(w);
+    uart_.saveState(w);
+    i2c_.saveState(w);
+    adc_.saveState(w);
+    led_.saveState(w);
+    debugPort_.saveState(w);
+    accel_.saveState(w);
+    w.boolean(rf_ != nullptr);
+    if (rf_)
+        rf_->saveState(w);
+    core.saveState(w);
+}
+
+void
+Wisp::restoreState(sim::SnapshotReader &r, sim::EventRearmer &rearmer)
+{
+    r.section("wisp");
+    sim().restoreClock(r.tick());
+    cursor.restoreLocal(r.tick());
+    r.rng(sim().rng());
+    power_.restoreState(r, rearmer);
+    sram.restoreState(r);
+    fram.restoreState(r);
+    gpio_.restoreState(r);
+    uart_.restoreState(r, rearmer);
+    i2c_.restoreState(r, rearmer);
+    adc_.restoreState(r, rearmer);
+    led_.restoreState(r);
+    debugPort_.restoreState(r, rearmer);
+    accel_.restoreState(r);
+    bool hasRf = r.boolean();
+    if (hasRf != (rf_ != nullptr)) {
+        // Snapshot taken on a device with a different RF build.
+        r.invalidate();
+        return;
+    }
+    if (rf_)
+        rf_->restoreState(r, rearmer);
+    core.restoreState(r, rearmer);
 }
 
 } // namespace edb::target

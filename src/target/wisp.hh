@@ -101,6 +101,8 @@ class Wisp : public sim::Component
     const mcu::Mcu &mcu() const { return core; }
     energy::PowerSystem &power() { return power_; }
     mem::MemoryMap &memoryMap() { return map; }
+    mem::Ram &sramRegion() { return sram; }
+    mem::Ram &framRegion() { return fram; }
     mcu::Gpio &gpio() { return gpio_; }
     mcu::Uart &uart() { return uart_; }
     mcu::I2cController &i2c() { return i2c_; }
@@ -119,6 +121,20 @@ class Wisp : public sim::Component
     double voltage() { return power_.voltage(); }
 
     const WispConfig &config() const { return cfg; }
+
+    /// @name Snapshot support (see sim/snapshot.hh)
+    /// Captures the event clock, the shared RNG and every subsystem.
+    /// Restore protocol: construct a fresh Simulator (same seed) and
+    /// Wisp (same config), `flash` the same program, do NOT `start`,
+    /// then `restoreState` + `rearmer.flush()`; the restored run is
+    /// bit-identical to the original continuing past the snapshot.
+    /// Works in-place too (rewind), since every component cancels its
+    /// own pending events before rearming.
+    /// @{
+    void saveState(sim::SnapshotWriter &w) const;
+    void restoreState(sim::SnapshotReader &r,
+                      sim::EventRearmer &rearmer);
+    /// @}
 
   private:
     WispConfig cfg;

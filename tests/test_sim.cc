@@ -10,8 +10,10 @@
 
 #include "sim/event.hh"
 #include "sim/logging.hh"
+#include "sim/replay.hh"
 #include "sim/rng.hh"
 #include "sim/simulator.hh"
+#include "sim/snapshot.hh"
 #include "sim/time.hh"
 #include "sim/time_cursor.hh"
 
@@ -313,6 +315,199 @@ TEST(TimeCursor, ScheduleInUsesLocalClock)
     sim.runToCompletion();
     EXPECT_TRUE(fired);
     EXPECT_EQ(when, 400);
+}
+
+TEST(Rng, ExportImportResumesStreamExactly)
+{
+    Rng a(123);
+    // Land mid-block: 1000 draws = 3 refills + 64 into the buffer.
+    for (int i = 0; i < 1000; ++i)
+        a.raw()();
+    Mt64::State saved = a.exportState();
+
+    std::vector<std::uint64_t> expect;
+    for (int i = 0; i < 700; ++i) // crosses the next refill boundary
+        expect.push_back(a.raw()());
+
+    Rng b(1); // different seed: import must fully overwrite
+    b.importState(saved);
+    for (std::uint64_t v : expect)
+        EXPECT_EQ(b.raw()(), v);
+}
+
+TEST(Rng, ExportCapturesMidBlockIndex)
+{
+    Rng a(7);
+    for (int i = 0; i < 5; ++i)
+        a.raw()();
+    EXPECT_EQ(a.exportState().index, 5u);
+}
+
+TEST(Rng, ImportClampsCorruptIndex)
+{
+    Mt64::State s = Rng(9).exportState();
+    s.index = 9999; // out of bounds: must clamp, not read past out[]
+    Rng a(1), b(2);
+    a.importState(s);
+    b.importState(s);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(a.raw()(), b.raw()());
+}
+
+TEST(Rng, ExportImportCoversDistributionHelpers)
+{
+    Rng a(55);
+    a.gaussian(1.0); // leave the engine at an arbitrary offset
+    a.uniformInt(0, 99);
+    Mt64::State saved = a.exportState();
+    double u = a.uniform();
+    double g = a.gaussian(2.5);
+    std::int64_t n = a.uniformInt(-10, 10);
+
+    Rng b(1);
+    b.importState(saved);
+    EXPECT_EQ(b.uniform(), u);
+    EXPECT_EQ(b.gaussian(2.5), g);
+    EXPECT_EQ(b.uniformInt(-10, 10), n);
+}
+
+TEST(ScheduleLog, RecordsAndTruncates)
+{
+    ScheduleLog log;
+    log.record(10, 1, 0.5);
+    log.record(20, 2);
+    log.record(30, 1, 1.5);
+    EXPECT_EQ(log.size(), 3u);
+    log.truncateAfter(20);
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log.entries()[1].at, 20);
+    log.clear();
+    EXPECT_TRUE(log.empty());
+}
+
+TEST(ScheduleLog, SnapshotRoundTrip)
+{
+    ScheduleLog log;
+    log.record(10, 1, 0.5);
+    log.record(30, 7, -2.25);
+    SnapshotWriter w;
+    log.saveState(w);
+
+    ScheduleLog back;
+    back.record(99, 9); // must be replaced, not appended to
+    SnapshotReader r;
+    ASSERT_TRUE(r.load(w.finish()));
+    back.restoreState(r);
+    EXPECT_TRUE(r.ok());
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back.entries()[0].at, 10);
+    EXPECT_EQ(back.entries()[0].op, 1u);
+    EXPECT_EQ(back.entries()[0].arg, 0.5);
+    EXPECT_EQ(back.entries()[1].at, 30);
+    EXPECT_EQ(back.entries()[1].op, 7u);
+    EXPECT_EQ(back.entries()[1].arg, -2.25);
+}
+
+TEST(SchedulePlayer, ArmsOnlyTheSuffixPastFrom)
+{
+    Simulator sim(1);
+    ScheduleLog log;
+    log.record(10, 1, 0.1);
+    log.record(20, 2, 0.2);
+    log.record(30, 3, 0.3);
+
+    SchedulePlayer player(sim);
+    std::vector<std::uint32_t> applied;
+    player.arm(log, 15, [&applied](const ScheduleEntry &e) {
+        applied.push_back(e.op);
+    });
+    EXPECT_EQ(player.pending(), 2u);
+    sim.runUntil(40);
+    EXPECT_EQ(player.fired(), 2u);
+    EXPECT_EQ(player.pending(), 0u);
+    ASSERT_EQ(applied.size(), 2u);
+    EXPECT_EQ(applied[0], 2u);
+    EXPECT_EQ(applied[1], 3u);
+}
+
+TEST(SchedulePlayer, CancelAndRearmReplaceTheSchedule)
+{
+    Simulator sim(1);
+    ScheduleLog log;
+    log.record(10, 1);
+    log.record(20, 2);
+
+    SchedulePlayer player(sim);
+    int applies = 0;
+    player.arm(log, 0, [&applies](const ScheduleEntry &) {
+        ++applies;
+    });
+    EXPECT_EQ(player.pending(), 2u);
+    player.cancel();
+    EXPECT_EQ(player.pending(), 0u);
+    sim.runUntil(15);
+    EXPECT_EQ(applies, 0);
+
+    // Re-arm mid-run: only the not-yet-reached entry fires, once.
+    player.arm(log, sim.now(), [&applies](const ScheduleEntry &) {
+        ++applies;
+    });
+    EXPECT_EQ(player.pending(), 1u);
+    sim.runUntil(40);
+    EXPECT_EQ(applies, 1);
+}
+
+TEST(ProgressMonitor, TripsOnRebootsWithoutCommit)
+{
+    ProgressMonitor mon(3);
+    EXPECT_FALSE(mon.update(0, 0)); // primes
+    EXPECT_FALSE(mon.update(1, 0));
+    EXPECT_FALSE(mon.update(2, 0));
+    EXPECT_TRUE(mon.update(3, 0));
+    EXPECT_TRUE(mon.tripped());
+    EXPECT_EQ(mon.rebootsSinceCommit(), 3u);
+}
+
+TEST(ProgressMonitor, CommitResetsTheWindow)
+{
+    ProgressMonitor mon(3);
+    mon.update(0, 0);
+    mon.update(2, 0);
+    EXPECT_FALSE(mon.update(2, 1)); // a commit lands
+    EXPECT_EQ(mon.rebootsSinceCommit(), 0u);
+    EXPECT_FALSE(mon.update(4, 1));
+    EXPECT_TRUE(mon.update(5, 1));
+}
+
+TEST(ProgressMonitor, RebaseAfterRewind)
+{
+    ProgressMonitor mon(3);
+    mon.update(5, 0);
+    mon.update(7, 0);
+    // Counters drop below the baseline (a snapshot rewind):
+    // auto-rebase instead of a bogus huge delta.
+    EXPECT_FALSE(mon.update(3, 0));
+    EXPECT_EQ(mon.rebootsSinceCommit(), 0u);
+    EXPECT_FALSE(mon.update(5, 0));
+    EXPECT_TRUE(mon.update(6, 0));
+}
+
+TEST(ProgressMonitor, SnapshotKeepsThePartialWindow)
+{
+    ProgressMonitor mon(5);
+    mon.update(0, 0);
+    mon.update(3, 0); // 3 reboots into the window
+    SnapshotWriter w;
+    mon.saveState(w);
+
+    ProgressMonitor back(1); // threshold restored from the image
+    SnapshotReader r;
+    ASSERT_TRUE(r.load(w.finish()));
+    back.restoreState(r);
+    EXPECT_EQ(back.threshold(), 5u);
+    EXPECT_EQ(back.rebootsSinceCommit(), 3u);
+    EXPECT_FALSE(back.update(4, 0));
+    EXPECT_TRUE(back.update(5, 0));
 }
 
 TEST(Logging, FatalThrowsFatalError)
