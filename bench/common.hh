@@ -9,8 +9,13 @@
 #ifndef EDB_BENCH_COMMON_HH
 #define EDB_BENCH_COMMON_HH
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <memory>
+#include <optional>
+#include <sstream>
 #include <string>
 
 #include "edb/board.hh"
@@ -53,6 +58,149 @@ struct Rig
           wisp(sim, "wisp", &rf, channel.get(), wisp_config),
           board(sim, "edb", wisp, channel.get(), edb_config)
     {}
+};
+
+/**
+ * Shared command-line parsing for the soak/fuzz harnesses:
+ * `--name value` pairs, bare `--flag` switches, and one optional
+ * bare integer (the legacy positional episode/plan count).
+ */
+class Cli
+{
+  public:
+    Cli(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg.size() > 2 && arg.compare(0, 2, "--") == 0) {
+                std::string name = arg.substr(2);
+                if (i + 1 < argc && argv[i + 1][0] != '-')
+                    options[name] = argv[++i];
+                else
+                    options[name] = "";
+            } else {
+                positional_ = std::atoll(arg.c_str());
+            }
+        }
+    }
+
+    bool has(const std::string &name) const
+    {
+        return options.count(name) != 0;
+    }
+
+    long long
+    intOption(const std::string &name, long long fallback) const
+    {
+        auto it = options.find(name);
+        if (it == options.end() || it->second.empty())
+            return fallback;
+        return std::atoll(it->second.c_str());
+    }
+
+    std::string
+    strOption(const std::string &name,
+              const std::string &fallback = "") const
+    {
+        auto it = options.find(name);
+        return it == options.end() ? fallback : it->second;
+    }
+
+    /** The bare positional integer, `fallback` when absent. */
+    long long
+    positional(long long fallback) const
+    {
+        return positional_.value_or(fallback);
+    }
+
+    /** `--name N`, falling back to the bare positional integer. */
+    long long
+    count(const std::string &name, long long fallback) const
+    {
+        return intOption(name, positional(fallback));
+    }
+
+  private:
+    std::map<std::string, std::string> options;
+    std::optional<long long> positional_;
+};
+
+/**
+ * Minimal JSON object builder for the machine-readable summary each
+ * harness prints as its last line (CI log scrapers key on it).
+ */
+class Json
+{
+  public:
+    Json &
+    field(const std::string &key, std::uint64_t v)
+    {
+        return raw(key, std::to_string(v));
+    }
+
+    Json &
+    field(const std::string &key, long long v)
+    {
+        return raw(key, std::to_string(v));
+    }
+
+    Json &
+    field(const std::string &key, int v)
+    {
+        return raw(key, std::to_string(v));
+    }
+
+    Json &
+    field(const std::string &key, bool v)
+    {
+        return raw(key, v ? "true" : "false");
+    }
+
+    Json &
+    field(const std::string &key, double v)
+    {
+        std::ostringstream s;
+        s.precision(17);
+        s << v;
+        return raw(key, s.str());
+    }
+
+    Json &
+    field(const std::string &key, const std::string &v)
+    {
+        std::string quoted = "\"";
+        for (char c : v) {
+            if (c == '"' || c == '\\')
+                quoted += '\\';
+            quoted += c;
+        }
+        quoted += '"';
+        return raw(key, quoted);
+    }
+
+    /** Nested object. */
+    Json &
+    object(const std::string &key, const Json &sub)
+    {
+        return raw(key, sub.str());
+    }
+
+    std::string str() const { return "{" + body + "}"; }
+
+    /** Print as the final summary line. */
+    void print() const { std::printf("\n%s\n", str().c_str()); }
+
+  private:
+    Json &
+    raw(const std::string &key, const std::string &v)
+    {
+        if (!body.empty())
+            body += ", ";
+        body += "\"" + key + "\": " + v;
+        return *this;
+    }
+
+    std::string body;
 };
 
 /** Section banner. */

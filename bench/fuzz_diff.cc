@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Coverage-guided differential fuzzer for the intermittent simulator.
+ *
+ * Each case is a constrained random EH32 program plus a forced
+ * brown-out schedule (src/fuzz/generator.hh), checked against the
+ * four oracles in src/fuzz/oracle.hh: fast-vs-reference bit-identity,
+ * snapshot resume-equivalence, from-scratch replay determinism, and
+ * NV-auditor soundness/completeness. Coverage feedback (opcodes,
+ * opcode x address-class pairs, MMIO registers, power-state edges,
+ * reboot-interrupted code buckets) keeps cases that exercised new
+ * behaviour in a mutation pool; failures are minimized with the
+ * shrinker and written as replayable artifacts.
+ *
+ * Everything is deterministic for a fixed --seed: all randomness
+ * flows through sim::Rng streams derived from it, and the simulator
+ * itself never reads a wall clock.
+ *
+ * Usage:
+ *   fuzz_diff [--cases N] [--seed S] [--artifacts DIR]
+ *   fuzz_diff --emit-corpus DIR [--corpus-count N] [--seed S]
+ *
+ * Exit status is nonzero when any oracle failed (the artifacts are
+ * in DIR, default ./fuzz-artifacts) or when corpus emission could
+ * not produce the requested cases.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/common.hh"
+#include "fuzz/corpus.hh"
+#include "fuzz/coverage.hh"
+#include "fuzz/generator.hh"
+#include "fuzz/oracle.hh"
+#include "fuzz/shrink.hh"
+#include "sim/rng.hh"
+
+using namespace edb;
+
+namespace {
+
+constexpr std::size_t poolCap = 64;
+
+struct Failure
+{
+    fuzz::OracleId oracle;
+    std::string detail;
+    std::string path;
+    std::size_t beforeInstrs = 0;
+    std::size_t afterInstrs = 0;
+    unsigned shrinkRuns = 0;
+};
+
+/** Re-run one oracle on a candidate spec (the shrink predicate). */
+bool
+oracleStillFails(fuzz::OracleId id, const fuzz::CaseSpec &spec)
+{
+    fuzz::OracleCase c = fuzz::makeOracleCase(spec);
+    return fuzz::runOracle(id, c).failed;
+}
+
+int
+runFuzz(const bench::Cli &cli)
+{
+    const int cases = static_cast<int>(cli.count("cases", 300));
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(cli.intOption("seed", 1));
+    const std::string artifactDir =
+        cli.strOption("artifacts", "fuzz-artifacts");
+
+    bench::banner(
+        "Differential fuzz: " + std::to_string(cases) +
+        " cases, seed " + std::to_string(seed) +
+        ", oracles fastref/snapshot/replay/audit, coverage-guided");
+
+    sim::Rng master(seed * 0x9E3779B97F4A7C15ULL + 1);
+    fuzz::Coverage global;
+    std::vector<fuzz::CaseSpec> pool;
+    std::vector<Failure> failures;
+    std::uint64_t oracleRuns = 0;
+    std::uint64_t inconclusive = 0;
+    std::uint64_t mutated = 0;
+    std::uint64_t keptForCoverage = 0;
+    std::uint64_t perOracleFailures[fuzz::numOracles] = {};
+
+    for (int i = 0; i < cases; ++i) {
+        std::uint64_t caseSeed = static_cast<std::uint64_t>(
+            master.uniformInt(1, 1LL << 62));
+        fuzz::CaseSpec spec;
+        if (!pool.empty() && master.chance(0.5)) {
+            const fuzz::CaseSpec &base =
+                pool[static_cast<std::size_t>(master.uniformInt(
+                    0, static_cast<std::int64_t>(pool.size() - 1)))];
+            spec = fuzz::mutateCase(base, caseSeed);
+            ++mutated;
+        } else {
+            spec = fuzz::generateCase(caseSeed);
+        }
+        fuzz::OracleCase c = fuzz::makeOracleCase(spec);
+
+        fuzz::Coverage caseCov;
+        for (unsigned o = 0; o < fuzz::numOracles; ++o) {
+            auto id = static_cast<fuzz::OracleId>(o);
+            fuzz::OracleOutcome out =
+                fuzz::runOracle(id, c, &caseCov);
+            ++oracleRuns;
+            if (out.inconclusive)
+                ++inconclusive;
+            if (!out.failed)
+                continue;
+            ++perOracleFailures[o];
+            std::printf("case %d FAIL [%s]: %s\n", i,
+                        fuzz::oracleName(id), out.detail.c_str());
+
+            Failure f;
+            f.oracle = id;
+            f.detail = out.detail;
+            fuzz::ShrinkResult shrunk = fuzz::shrinkCase(
+                spec,
+                [id](const fuzz::CaseSpec &s) {
+                    return oracleStillFails(id, s);
+                });
+            f.beforeInstrs = shrunk.beforeInstrs;
+            f.afterInstrs = shrunk.afterInstrs;
+            f.shrinkRuns = shrunk.runs;
+
+            std::filesystem::create_directories(artifactDir);
+            fuzz::Artifact artifact;
+            artifact.oracle = id;
+            artifact.oracleCase =
+                fuzz::makeOracleCase(shrunk.spec);
+            artifact.note = "case " + std::to_string(i) + " seed " +
+                            std::to_string(seed) + " shrunk " +
+                            std::to_string(shrunk.beforeInstrs) +
+                            "->" +
+                            std::to_string(shrunk.afterInstrs) +
+                            " instrs";
+            f.path = artifactDir + "/case-" + std::to_string(i) +
+                     "-" + fuzz::oracleName(id) + ".case";
+            fuzz::saveArtifact(artifact, f.path);
+            std::printf("  minimized %zu -> %zu instrs (%u shrink "
+                        "runs), artifact: %s\n",
+                        f.beforeInstrs, f.afterInstrs, f.shrinkRuns,
+                        f.path.c_str());
+            failures.push_back(std::move(f));
+        }
+
+        if (global.merge(caseCov) > 0 && pool.size() < poolCap) {
+            pool.push_back(spec);
+            ++keptForCoverage;
+        }
+        if ((i + 1) % 50 == 0)
+            std::printf("... %d/%d cases, %zu coverage keys, %zu "
+                        "failures\n",
+                        i + 1, cases, global.distinct(),
+                        failures.size());
+    }
+
+    bench::Json coverage;
+    coverage.field("total", global.distinct())
+        .field("opcodes",
+               global.distinctOfKind(fuzz::Coverage::kindExec))
+        .field("mem_pairs",
+               global.distinctOfKind(fuzz::Coverage::kindMem))
+        .field("mmio_regs",
+               global.distinctOfKind(fuzz::Coverage::kindMmio))
+        .field("edges",
+               global.distinctOfKind(fuzz::Coverage::kindEdge))
+        .field("reboot_pcs",
+               global.distinctOfKind(fuzz::Coverage::kindRebootPc));
+    bench::Json perOracle;
+    for (unsigned o = 0; o < fuzz::numOracles; ++o)
+        perOracle.field(
+            fuzz::oracleName(static_cast<fuzz::OracleId>(o)),
+            perOracleFailures[o]);
+    bench::Json shrunkSizes;
+    for (std::size_t i = 0; i < failures.size(); ++i)
+        shrunkSizes.field(std::to_string(i),
+                          failures[i].afterInstrs);
+    bench::Json summary;
+    summary.field("cases", cases)
+        .field("seed", static_cast<std::uint64_t>(seed))
+        .field("oracle_runs", oracleRuns)
+        .field("mutated", mutated)
+        .field("pool", keptForCoverage)
+        .field("inconclusive", inconclusive)
+        .object("coverage", coverage)
+        .field("failures",
+               static_cast<std::uint64_t>(failures.size()))
+        .object("failures_by_oracle", perOracle)
+        .object("shrunk_instrs", shrunkSizes);
+    summary.print();
+
+    if (failures.empty()) {
+        std::printf("\nFUZZ PASS\n");
+        return 0;
+    }
+    std::printf("\nFUZZ FAIL (%zu oracle failures, artifacts in "
+                "%s)\n",
+                failures.size(), artifactDir.c_str());
+    return 1;
+}
+
+/**
+ * Seed-corpus emission: small cases that pass their oracle, one
+ * oracle per case round-robin, written as replayable artifacts.
+ * Audit artifacts are required to be conclusive (a power loss after
+ * the gadget) so the completeness half really replays.
+ */
+int
+emitCorpus(const bench::Cli &cli)
+{
+    const std::string dir = cli.strOption("emit-corpus");
+    const int want =
+        static_cast<int>(cli.intOption("corpus-count", 24));
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(cli.intOption("seed", 3));
+
+    fuzz::GeneratorOptions small;
+    small.minElements = 2;
+    small.maxElements = 6;
+
+    std::filesystem::create_directories(dir);
+    int emitted = 0;
+    std::uint64_t caseSeed = seed * 1000;
+    int attempts = 0;
+    while (emitted < want && attempts < want * 40) {
+        ++attempts;
+        ++caseSeed;
+        auto id = static_cast<fuzz::OracleId>(
+            emitted % fuzz::numOracles);
+        fuzz::CaseSpec spec = fuzz::generateCase(caseSeed, small);
+        fuzz::OracleCase c = fuzz::makeOracleCase(spec);
+        fuzz::OracleOutcome out = fuzz::runOracle(id, c);
+        if (out.failed)
+            continue;
+        if (id == fuzz::OracleId::Audit && out.inconclusive)
+            continue;
+
+        char name[64];
+        std::snprintf(name, sizeof name, "seed-%02d-%s.case",
+                      emitted, fuzz::oracleName(id));
+        fuzz::Artifact artifact;
+        artifact.oracle = id;
+        artifact.oracleCase = c;
+        artifact.note = "seed corpus, generator seed " +
+                        std::to_string(caseSeed);
+        std::string path = dir + "/" + name;
+        if (!fuzz::saveArtifact(artifact, path)) {
+            std::printf("cannot write %s\n", path.c_str());
+            return 1;
+        }
+        std::printf("emitted %s (%zu instrs)\n", path.c_str(),
+                    fuzz::instructionCountOf(c.program));
+        ++emitted;
+    }
+    if (emitted < want) {
+        std::printf("only emitted %d/%d corpus cases\n", emitted,
+                    want);
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Cli cli(argc, argv);
+    if (cli.has("emit-corpus"))
+        return emitCorpus(cli);
+    return runFuzz(cli);
+}

@@ -16,7 +16,7 @@
  *  - the host parser never desyncs permanently (frames keep parsing
  *    until the horizon whenever the plan leaves the link usable).
  *
- * Usage: soak_fault_link [plan-count]   (default 200)
+ * Usage: soak_fault_link [--plans N | plan-count]   (default 200)
  */
 
 #include <cstdio>
@@ -171,7 +171,8 @@ runPlan(std::uint64_t index)
 int
 main(int argc, char **argv)
 {
-    const int plans = argc > 1 ? std::atoi(argv[1]) : 200;
+    bench::Cli cli(argc, argv);
+    const int plans = static_cast<int>(cli.count("plans", 200));
     bench::banner("Debug-link soak: " + std::to_string(plans) +
                   " randomized fault plans, linked-list app, energy "
                   "breakpoint at 2.0 V, 1.5 s horizon each");
@@ -229,17 +230,24 @@ main(int argc, char **argv)
 
     // Machine-readable summary for CI log scrapers. A "leaked" (still
     // open at the horizon) or hung session fails the soak below.
-    std::printf("\n{\"plans\": %d, \"failed_plans\": %d, "
-                "\"episodes\": {\"run\": %llu, \"degraded\": %llu, "
-                "\"aborted\": %llu}, \"sessions\": {\"opened\": "
-                "%llu, \"completed\": %llu, \"aborted\": %llu, "
-                "\"leaked\": %llu}, \"frames_ok\": %llu, "
-                "\"crc_errors\": %llu, \"resyncs\": %llu}\n",
-                plans, failedPlans, u(total.sessions),
-                u(total.degraded), u(total.abortedEpisodes),
-                u(total.sessions), u(total.completed),
-                u(total.aborted), u(total.stuck), u(total.framesOk),
-                u(total.crcErrors), u(total.resyncs));
+    bench::Json episodes;
+    episodes.field("run", total.sessions)
+        .field("degraded", total.degraded)
+        .field("aborted", total.abortedEpisodes);
+    bench::Json sessions;
+    sessions.field("opened", total.sessions)
+        .field("completed", total.completed)
+        .field("aborted", total.aborted)
+        .field("leaked", total.stuck);
+    bench::Json summary;
+    summary.field("plans", plans)
+        .field("failed_plans", failedPlans)
+        .object("episodes", episodes)
+        .object("sessions", sessions)
+        .field("frames_ok", total.framesOk)
+        .field("crc_errors", total.crcErrors)
+        .field("resyncs", total.resyncs);
+    summary.print();
 
     if (failedPlans == 0 && total.sessions > 0) {
         std::printf("\nSOAK PASS\n");

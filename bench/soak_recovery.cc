@@ -22,8 +22,6 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <vector>
 
 #include "apps/linked_list.hh"
@@ -252,13 +250,8 @@ runEpisode(std::uint64_t index)
 int
 main(int argc, char **argv)
 {
-    int episodes = 100;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--episodes") == 0 && i + 1 < argc)
-            episodes = std::atoi(argv[++i]);
-        else
-            episodes = std::atoi(argv[i]);
-    }
+    bench::Cli cli(argc, argv);
+    int episodes = static_cast<int>(cli.count("episodes", 100));
 
     bench::banner(
         "Soak + recovery: " + std::to_string(episodes) +
@@ -284,15 +277,14 @@ main(int argc, char **argv)
             std::printf("... %d/%d episodes\n", i + 1, episodes);
     }
 
-    auto u = [](std::uint64_t v) {
-        return static_cast<unsigned long long>(v);
-    };
-    std::printf("\n{\"episodes\": {\"run\": %d, \"quiet\": %llu, "
-                "\"war_findings\": %llu, \"stalls\": %llu, "
-                "\"reproduced\": %llu, \"recovery_failures\": "
-                "%llu}}\n",
-                episodes, u(quiet), u(findingEvents), u(stallEvents),
-                u(reproduced), u(recoveryFailures));
+    bench::Json ep;
+    ep.field("run", episodes)
+        .field("quiet", quiet)
+        .field("war_findings", findingEvents)
+        .field("stalls", stallEvents)
+        .field("reproduced", reproduced)
+        .field("recovery_failures", recoveryFailures);
+    bench::Json{}.object("episodes", ep).print();
 
     // The gate is real: recovery must never diverge, and with both
     // episode flavors present each detector must fire and reproduce

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * On-disk regression artifacts for minimized fuzz failures.
+ *
+ * A `.case` file is a line-oriented text record: header comments,
+ * `key value` lines for the world knobs and schedule, then the raw
+ * program (and mutant) listings framed by their line counts. The
+ * format is deliberately dumb — diffable in review, hand-editable,
+ * and parsed without any dependency — because each artifact is a
+ * permanent regression test replayed by tests/test_fuzz_corpus.cc.
+ */
+
+#ifndef EDB_FUZZ_CORPUS_HH
+#define EDB_FUZZ_CORPUS_HH
+
+#include <optional>
+#include <string>
+
+#include "fuzz/oracle.hh"
+
+namespace edb::fuzz {
+
+/** One checked-in regression case. */
+struct Artifact
+{
+    OracleId oracle = OracleId::FastRef;
+    OracleCase oracleCase;
+    /** Free-text provenance ("seed 7 shrunk 120->14", ...). */
+    std::string note;
+};
+
+/** Serialize to the `.case` text format. */
+std::string artifactToText(const Artifact &artifact);
+
+/** Parse; on failure returns nullopt and sets `error`. */
+std::optional<Artifact> artifactFromText(const std::string &text,
+                                         std::string *error = nullptr);
+
+/** File round-trip helpers. */
+bool saveArtifact(const Artifact &artifact, const std::string &path);
+std::optional<Artifact> loadArtifact(const std::string &path,
+                                     std::string *error = nullptr);
+
+} // namespace edb::fuzz
+
+#endif // EDB_FUZZ_CORPUS_HH

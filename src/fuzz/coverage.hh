@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Coverage signal for the differential fuzzer.
+ *
+ * A `Coverage` is a set of small packed keys describing behaviours a
+ * case actually exercised at runtime (not just emitted): which
+ * opcodes retired, which opcode x address-space-class pairs the
+ * memory traffic hit, which MMIO registers were touched, and which
+ * power-state edges (boot, brown-out at a given code region,
+ * checkpoint commit/restore, fault, halt) occurred. The fuzz driver
+ * merges each case's coverage into a global map; cases that
+ * contribute new keys are kept in the mutation pool, which is what
+ * makes the fuzzer coverage-guided rather than purely random.
+ */
+
+#ifndef EDB_FUZZ_COVERAGE_HH
+#define EDB_FUZZ_COVERAGE_HH
+
+#include <cstdint>
+#include <set>
+
+#include "isa/isa.hh"
+#include "mem/memory.hh"
+
+namespace edb::fuzz {
+
+/** Power-state / lifecycle edges observed during a run. */
+enum class Edge : std::uint8_t
+{
+    Boot = 0,       ///< First turn-on.
+    Reboot,         ///< Power lost and regained.
+    Checkpoint,     ///< Checkpoint committed.
+    Restore,        ///< Boot restored from a checkpoint.
+    Fault,          ///< Core faulted.
+    Halt,           ///< HALT retired.
+};
+
+/** Address-space class of a data access. */
+enum class MemClass : std::uint8_t { Sram = 0, Fram, Mmio };
+
+/**
+ * Set of packed coverage keys. Keys are 32-bit: the top byte is the
+ * key kind, the rest identifies the behaviour within the kind.
+ */
+class Coverage
+{
+  public:
+    /** An instruction with this opcode retired. */
+    void
+    noteExec(isa::Opcode op)
+    {
+        add(pack(kindExec, static_cast<std::uint32_t>(op)));
+    }
+
+    /** A memory access of `op` landed in address class `cls`. */
+    void
+    noteMem(isa::Opcode op, MemClass cls)
+    {
+        add(pack(kindMem, (static_cast<std::uint32_t>(op) << 8) |
+                              static_cast<std::uint32_t>(cls)));
+    }
+
+    /** An access touched the MMIO register at `reg` (word aligned). */
+    void noteMmio(mem::Addr reg) { add(pack(kindMmio, reg & 0xFFFFu)); }
+
+    /** A lifecycle edge occurred. */
+    void
+    noteEdge(Edge e)
+    {
+        add(pack(kindEdge, static_cast<std::uint32_t>(e)));
+    }
+
+    /**
+     * Power was lost while the last retired instruction sat in the
+     * 16-byte code bucket containing `lastPc` — the coverage signal
+     * for "a reboot interrupted *this* part of the program".
+     */
+    void
+    noteRebootAt(mem::Addr lastPc)
+    {
+        add(pack(kindRebootPc, (lastPc >> 4) & 0xFFFFu));
+    }
+
+    /** Number of distinct keys. */
+    std::size_t distinct() const { return keys.size(); }
+
+    /** Distinct keys of one kind (for the summary breakdown). */
+    std::size_t
+    distinctOfKind(std::uint8_t kind) const
+    {
+        std::size_t n = 0;
+        for (std::uint32_t k : keys)
+            if ((k >> 24) == kind)
+                ++n;
+        return n;
+    }
+
+    /** Merge `other` into this map. @return number of new keys. */
+    std::size_t
+    merge(const Coverage &other)
+    {
+        std::size_t fresh = 0;
+        for (std::uint32_t k : other.keys)
+            if (keys.insert(k).second)
+                ++fresh;
+        return fresh;
+    }
+
+    static constexpr std::uint8_t kindExec = 1;
+    static constexpr std::uint8_t kindMem = 2;
+    static constexpr std::uint8_t kindMmio = 3;
+    static constexpr std::uint8_t kindEdge = 4;
+    static constexpr std::uint8_t kindRebootPc = 5;
+
+  private:
+    static std::uint32_t
+    pack(std::uint8_t kind, std::uint32_t payload)
+    {
+        return (static_cast<std::uint32_t>(kind) << 24) |
+               (payload & 0x00FFFFFFu);
+    }
+
+    void add(std::uint32_t key) { keys.insert(key); }
+
+    std::set<std::uint32_t> keys;
+};
+
+} // namespace edb::fuzz
+
+#endif // EDB_FUZZ_COVERAGE_HH

@@ -1,0 +1,163 @@
+#include "fuzz/shrink.hh"
+
+#include <algorithm>
+
+namespace edb::fuzz {
+
+namespace {
+
+struct Budget
+{
+    unsigned maxRuns;
+    unsigned runs = 0;
+
+    bool
+    spent() const
+    {
+        return runs >= maxRuns;
+    }
+
+    bool
+    check(const ShrinkPredicate &pred, const CaseSpec &candidate)
+    {
+        if (spent())
+            return false;
+        ++runs;
+        return pred(candidate);
+    }
+};
+
+/** Remove element chunks at shrinking granularity (ddmin flavour). */
+void
+reduceElements(CaseSpec &best, const ShrinkPredicate &pred, Budget &b)
+{
+    std::size_t chunk = std::max<std::size_t>(
+        1, best.elements.size() / 2);
+    while (chunk >= 1 && !b.spent()) {
+        bool removedAny = false;
+        for (std::size_t i = 0;
+             i < best.elements.size() && !b.spent();) {
+            CaseSpec candidate = best;
+            std::size_t n =
+                std::min(chunk, candidate.elements.size() - i);
+            candidate.elements.erase(
+                candidate.elements.begin() +
+                    static_cast<std::ptrdiff_t>(i),
+                candidate.elements.begin() +
+                    static_cast<std::ptrdiff_t>(i + n));
+            if (b.check(pred, candidate)) {
+                best = std::move(candidate);
+                removedAny = true;
+                // Same index now holds the next chunk.
+            } else {
+                i += chunk;
+            }
+        }
+        if (chunk == 1 && !removedAny)
+            break;
+        if (!removedAny)
+            chunk /= 2;
+    }
+}
+
+/** Flatten control flow: one iteration, smaller bodies. */
+void
+reduceControl(CaseSpec &best, const ShrinkPredicate &pred, Budget &b)
+{
+    for (std::size_t i = 0; i < best.elements.size() && !b.spent();
+         ++i) {
+        Element &e = best.elements[i];
+        if (e.kind == Element::Kind::Loop && e.iterations > 1) {
+            CaseSpec candidate = best;
+            candidate.elements[i].iterations = 1;
+            if (b.check(pred, candidate))
+                best = std::move(candidate);
+        }
+        if ((e.kind == Element::Kind::Loop ||
+             e.kind == Element::Kind::Skip) &&
+            best.elements[i].body.size() > 1) {
+            for (std::size_t j = 0;
+                 j < best.elements[i].body.size() && !b.spent();) {
+                CaseSpec candidate = best;
+                candidate.elements[i].body.erase(
+                    candidate.elements[i].body.begin() +
+                    static_cast<std::ptrdiff_t>(j));
+                if (b.check(pred, candidate))
+                    best = std::move(candidate);
+                else
+                    ++j;
+            }
+        }
+    }
+}
+
+/** Strip individual snippet lines (register classes are positional,
+ *  so any sub-listing still assembles and stays WAR-free). */
+void
+reduceLines(CaseSpec &best, const ShrinkPredicate &pred, Budget &b)
+{
+    for (std::size_t i = 0; i < best.elements.size() && !b.spent();
+         ++i) {
+        if (best.elements[i].kind != Element::Kind::Snippet)
+            continue;
+        for (std::size_t j = 0;
+             j < best.elements[i].lines.size() && !b.spent();) {
+            CaseSpec candidate = best;
+            candidate.elements[i].lines.erase(
+                candidate.elements[i].lines.begin() +
+                static_cast<std::ptrdiff_t>(j));
+            if (candidate.elements[i].lines.empty())
+                candidate.elements.erase(
+                    candidate.elements.begin() +
+                    static_cast<std::ptrdiff_t>(i));
+            if (b.check(pred, candidate))
+                best = std::move(candidate);
+            else
+                ++j;
+            if (i >= best.elements.size() ||
+                best.elements[i].kind != Element::Kind::Snippet)
+                break;
+        }
+    }
+}
+
+/** Drop forced brown-outs that are not needed for the failure. */
+void
+reduceSchedule(CaseSpec &best, const ShrinkPredicate &pred, Budget &b)
+{
+    for (std::size_t i = 0;
+         i < best.schedule.size() && !b.spent();) {
+        CaseSpec candidate = best;
+        candidate.schedule.erase(candidate.schedule.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+        if (b.check(pred, candidate))
+            best = std::move(candidate);
+        else
+            ++i;
+    }
+}
+
+} // namespace
+
+ShrinkResult
+shrinkCase(const CaseSpec &failing, const ShrinkPredicate &stillFails,
+           unsigned maxRuns)
+{
+    ShrinkResult result;
+    result.beforeInstrs = instructionCount(failing);
+    result.spec = failing;
+    Budget b{maxRuns};
+
+    reduceElements(result.spec, stillFails, b);
+    reduceControl(result.spec, stillFails, b);
+    reduceLines(result.spec, stillFails, b);
+    // Line removal can unlock further whole-element removal.
+    reduceElements(result.spec, stillFails, b);
+    reduceSchedule(result.spec, stillFails, b);
+
+    result.runs = b.runs;
+    result.afterInstrs = instructionCount(result.spec);
+    return result;
+}
+
+} // namespace edb::fuzz

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Failure minimizer for generated cases.
+ *
+ * Delta-debugging over the structure the generator already exposes:
+ * because every element is self-contained (fuzz/generator.hh), any
+ * subset of the element list still assembles and runs, so shrinking
+ * is plain list reduction — remove element chunks (ddmin-style,
+ * halving granularity), then flatten loops, strip snippet lines and
+ * drop schedule entries, re-checking the caller's predicate after
+ * every candidate. The predicate is the failure being minimized
+ * ("oracle X still fails", or a synthetic marker for the shrinker's
+ * own test); the budget bounds total predicate evaluations since
+ * each one replays a full simulation.
+ */
+
+#ifndef EDB_FUZZ_SHRINK_HH
+#define EDB_FUZZ_SHRINK_HH
+
+#include <functional>
+
+#include "fuzz/generator.hh"
+
+namespace edb::fuzz {
+
+/** Returns true when the candidate still exhibits the failure. */
+using ShrinkPredicate = std::function<bool(const CaseSpec &)>;
+
+struct ShrinkResult
+{
+    CaseSpec spec;
+    /** Predicate evaluations spent. */
+    unsigned runs = 0;
+    /** Instruction counts before/after. */
+    std::size_t beforeInstrs = 0;
+    std::size_t afterInstrs = 0;
+};
+
+/**
+ * Minimize `failing` while `stillFails` holds. `failing` itself is
+ * assumed to satisfy the predicate (it is not re-checked).
+ */
+ShrinkResult shrinkCase(const CaseSpec &failing,
+                        const ShrinkPredicate &stillFails,
+                        unsigned maxRuns = 200);
+
+} // namespace edb::fuzz
+
+#endif // EDB_FUZZ_SHRINK_HH
