@@ -4,9 +4,10 @@
  *
  * Each case is a constrained random EH32 program plus a forced
  * brown-out schedule (src/fuzz/generator.hh), checked against the
- * four oracles in src/fuzz/oracle.hh: fast-vs-reference bit-identity,
- * snapshot resume-equivalence, from-scratch replay determinism, and
- * NV-auditor soundness/completeness. Coverage feedback (opcodes,
+ * five oracles in src/fuzz/oracle.hh: fast-vs-reference bit-identity,
+ * snapshot resume-equivalence, from-scratch replay determinism,
+ * NV-auditor soundness/completeness, and superblock-vs-reference
+ * bit-identity. Coverage feedback (opcodes,
  * opcode x address-class pairs, MMIO registers, power-state edges,
  * reboot-interrupted code buckets) keeps cases that exercised new
  * behaviour in a mutation pool; failures are minimized with the
@@ -74,7 +75,8 @@ runFuzz(const bench::Cli &cli)
     bench::banner(
         "Differential fuzz: " + std::to_string(cases) +
         " cases, seed " + std::to_string(seed) +
-        ", oracles fastref/snapshot/replay/audit, coverage-guided");
+        ", oracles fastref/snapshot/replay/audit/superblock, "
+        "coverage-guided");
 
     sim::Rng master(seed * 0x9E3779B97F4A7C15ULL + 1);
     fuzz::Coverage global;

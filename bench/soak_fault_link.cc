@@ -51,6 +51,8 @@ struct Outcome
     std::uint64_t faultsInjected = 0;
     std::uint64_t brownOutsForced = 0;
     bool missingAbortReason = false;
+    mcu::Mcu::SuperblockStats sb{};
+    std::uint64_t instrs = 0;
 };
 
 /** Draw a randomized fault plan; roughly a third of the plans get
@@ -82,7 +84,7 @@ drawPlan(std::uint64_t index, sim::Tick horizon)
 }
 
 Outcome
-runPlan(std::uint64_t index)
+runPlan(std::uint64_t index, const target::WispConfig &wisp_config)
 {
     const sim::Tick horizon = 1500 * sim::oneMs;
     sim::Simulator simulator(1000 + index);
@@ -90,7 +92,8 @@ runPlan(std::uint64_t index)
     sim::FaultInjector inj(simulator, "inj",
                            drawPlan(index, horizon));
     energy::FadedHarvester faded(rf, inj);
-    target::Wisp wisp(simulator, "wisp", &faded, nullptr);
+    target::Wisp wisp(simulator, "wisp", &faded, nullptr,
+                      wisp_config);
     edbdbg::EdbBoard board(simulator, "edb", wisp);
     board.injectFaults(&inj);
     inj.armBrownOuts([&wisp] {
@@ -163,6 +166,8 @@ runPlan(std::uint64_t index)
                          inj.stats().duplicated +
                          inj.stats().adcGlitches;
     out.brownOutsForced = inj.stats().brownOutsForced;
+    out.sb = wisp.mcu().superblockStats();
+    out.instrs = wisp.mcu().instrCount();
     return out;
 }
 
@@ -177,10 +182,13 @@ main(int argc, char **argv)
                   " randomized fault plans, linked-list app, energy "
                   "breakpoint at 2.0 V, 1.5 s horizon each");
 
+    const target::WispConfig wispConfig =
+        bench::applyEngineFlags(cli);
     Outcome total;
     int failedPlans = 0;
     for (int i = 0; i < plans; ++i) {
-        Outcome o = runPlan(static_cast<std::uint64_t>(i));
+        Outcome o =
+            runPlan(static_cast<std::uint64_t>(i), wispConfig);
         bool ok = o.stuck == 0 && !o.missingAbortReason;
         if (!ok) {
             ++failedPlans;
@@ -202,6 +210,8 @@ main(int argc, char **argv)
         total.abortedEpisodes += o.abortedEpisodes;
         total.faultsInjected += o.faultsInjected;
         total.brownOutsForced += o.brownOutsForced;
+        bench::accumulate(total.sb, o.sb);
+        total.instrs += o.instrs;
         if ((i + 1) % 50 == 0)
             std::printf("... %d/%d plans\n", i + 1, plans);
     }
@@ -246,7 +256,9 @@ main(int argc, char **argv)
         .object("sessions", sessions)
         .field("frames_ok", total.framesOk)
         .field("crc_errors", total.crcErrors)
-        .field("resyncs", total.resyncs);
+        .field("resyncs", total.resyncs)
+        .object("superblocks",
+                bench::superblockJson(total.sb, total.instrs));
     summary.print();
 
     if (failedPlans == 0 && total.sessions > 0) {

@@ -82,13 +82,23 @@ struct World
     mem::NvAuditor aud;
     sim::SchedulePlayer player;
 
-    explicit World(std::uint64_t seed)
-        : sim(seed), wisp(sim, "wisp", &rf, nullptr),
+    explicit World(std::uint64_t seed, bool with_auditor,
+                   const target::WispConfig &config)
+        : sim(seed), wisp(sim, "wisp", &rf, nullptr, config),
           aud(auditConfigFor(wisp), wisp.framRegion()), player(sim)
     {
-        wisp.mcu().setAuditor(&aud);
-        wisp.memoryMap().setWriteHook(&mem::NvAuditor::rawWriteHook,
-                                      &aud);
+        // The auditor object always exists (it is part of the
+        // snapshot layout) but is only wired into the core when the
+        // episode actually audits. An attached auditor observes
+        // every instruction, which forces per-instruction stepping;
+        // leaving it detached in stall-mode episodes lets the
+        // superblock tier run under the same snapshot/rewind
+        // machinery — architecturally identical either way.
+        if (with_auditor) {
+            wisp.mcu().setAuditor(&aud);
+            wisp.memoryMap().setWriteHook(
+                &mem::NvAuditor::rawWriteHook, &aud);
+        }
     }
 
     void
@@ -176,10 +186,14 @@ struct EpisodeResult
     bool recoveryFailed = false;
     sim::Tick eventTick = 0;
     sim::Tick snapTick = 0;
+    /** Superblock engine counters (nonzero in stall-mode episodes,
+     *  where the auditor is detached). */
+    mcu::Mcu::SuperblockStats sb{};
+    std::uint64_t instrs = 0;
 };
 
 EpisodeResult
-runEpisode(std::uint64_t index)
+runEpisode(std::uint64_t index, const target::WispConfig &config)
 {
     // Even episodes hunt WAR findings (watchdog out of the way); odd
     // episodes exercise the stall detector alone (the auditor is
@@ -187,7 +201,7 @@ runEpisode(std::uint64_t index)
     // app never commits, so a handful of reboots trips the watchdog).
     const bool stallMode = (index % 2) == 1;
     const sim::Tick horizon = 4 * sim::oneSec;
-    World w(5000 + index);
+    World w(5000 + index, !stallMode, config);
     w.wisp.flash(apps::buildLinkedListApp());
     w.wisp.start();
     sim::ProgressMonitor mon(stallMode ? 5 : (1u << 20));
@@ -211,6 +225,8 @@ runEpisode(std::uint64_t index)
         detect(w, mon, !stallMode, horizon, &snapImg, &snapTick);
 
     EpisodeResult res;
+    res.sb = w.wisp.mcu().superblockStats();
+    res.instrs = w.wisp.mcu().instrCount();
     if (ev.kind == 0)
         return res; // quiet: ran to the horizon without incident
     res.kind = ev.kind;
@@ -261,8 +277,15 @@ main(int argc, char **argv)
 
     std::uint64_t quiet = 0, findingEvents = 0, stallEvents = 0;
     std::uint64_t reproduced = 0, recoveryFailures = 0;
+    mcu::Mcu::SuperblockStats sbTotal{};
+    std::uint64_t instrTotal = 0;
+    const target::WispConfig wispConfig =
+        bench::applyEngineFlags(cli);
     for (int i = 0; i < episodes; ++i) {
-        EpisodeResult r = runEpisode(static_cast<std::uint64_t>(i));
+        EpisodeResult r =
+            runEpisode(static_cast<std::uint64_t>(i), wispConfig);
+        bench::accumulate(sbTotal, r.sb);
+        instrTotal += r.instrs;
         if (r.kind == 0)
             ++quiet;
         else if (r.kind == 1)
@@ -284,7 +307,11 @@ main(int argc, char **argv)
         .field("stalls", stallEvents)
         .field("reproduced", reproduced)
         .field("recovery_failures", recoveryFailures);
-    bench::Json{}.object("episodes", ep).print();
+    bench::Json{}
+        .object("episodes", ep)
+        .object("superblocks",
+                bench::superblockJson(sbTotal, instrTotal))
+        .print();
 
     // The gate is real: recovery must never diverge, and with both
     // episode flavors present each detector must fire and reproduce

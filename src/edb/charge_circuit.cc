@@ -12,20 +12,24 @@ ChargeCircuit::ChargeCircuit(sim::Simulator &simulator,
       cfg(config)
 {
     // The circuit is high-impedance while inactive: it neither loads
-    // nor trickle-charges the target (paper Section 4.1.1).
-    power.addSource(name(), [this](double v, double) {
-        switch (mode) {
-          case Mode::Off:
+    // nor trickle-charges the target (paper Section 4.1.1). Worst
+    // draw for the block-drain pre-check: a full-voltage discharge.
+    power.addSource(
+        name(),
+        [this](double v, double) {
+            switch (mode) {
+              case Mode::Off:
+                return 0.0;
+              case Mode::Charging: {
+                double i = (cfg.chargeVolts - v) / cfg.chargeOhms;
+                return i > 0.0 ? i : 0.0;
+              }
+              case Mode::Discharging:
+                return -(v / cfg.dischargeOhms);
+            }
             return 0.0;
-          case Mode::Charging: {
-            double i = (cfg.chargeVolts - v) / cfg.chargeOhms;
-            return i > 0.0 ? i : 0.0;
-          }
-          case Mode::Discharging:
-            return -(v / cfg.dischargeOhms);
-        }
-        return 0.0;
-    });
+        },
+        power.config().maxVolts / cfg.dischargeOhms);
 }
 
 void

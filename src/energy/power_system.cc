@@ -84,10 +84,13 @@ PowerSystem::loadEnabled(LoadHandle handle) const
 }
 
 PowerSystem::SourceHandle
-PowerSystem::addSource(std::string source_name, SourceFn fn)
+PowerSystem::addSource(std::string source_name, SourceFn fn,
+                       double worst_draw_amps)
 {
     advanceTo(now());
-    sources.push_back(Source{std::move(source_name), std::move(fn), true});
+    sources.push_back(Source{std::move(source_name), std::move(fn),
+                             true, worst_draw_amps});
+    ++drawEpoch_;
     return sources.size() - 1;
 }
 
@@ -96,6 +99,7 @@ PowerSystem::setSourceEnabled(SourceHandle handle, bool enabled)
 {
     advanceTo(now());
     sources.at(handle).enabled = enabled;
+    ++drawEpoch_;
 }
 
 void

@@ -60,6 +60,7 @@ worldConfig(const OracleCase &c, bool reference, bool checkpointing)
         config.mcu.flatDispatch = false;
         config.mcu.batchedDrain = false;
         config.mcu.batchedSlices = false;
+        config.mcu.superblocks = false;
         config.power.fastIntegration = false;
     }
     return config;
@@ -477,6 +478,38 @@ runAudit(const OracleCase &c, Coverage *cov)
     return out;
 }
 
+OracleOutcome
+runSuperblock(const OracleCase &c, Coverage *cov)
+{
+    isa::Program prog = isa::assemble(c.program);
+    World::Options opt;
+    opt.checkpointing = c.checkpointing;
+
+    // Superblock leg: deliberately NOT instrumented. A tracer must
+    // observe every retired instruction, so attaching one drops the
+    // core to per-instruction stepping and the oracle would compare
+    // the interpreter against itself. (This is also why FastRef's
+    // instrumented fast leg never dispatches superblocks.)
+    World sb(c, prog, opt);
+    sb.runTo(c.horizon, nullptr);
+
+    // The reference leg carries the coverage tracer; bit-identity
+    // must hold across the instrumentation difference too.
+    opt.reference = true;
+    World ref(c, prog, opt);
+    ref.instrument(cov);
+    ref.runTo(c.horizon, cov);
+
+    Digest a = digestOf(sb);
+    Digest b = digestOf(ref);
+    OracleOutcome out;
+    if (!(a == b)) {
+        out.failed = true;
+        out.detail = digestDiff("superblock", a, "reference", b);
+    }
+    return out;
+}
+
 } // namespace
 
 const char *
@@ -487,6 +520,7 @@ oracleName(OracleId id)
       case OracleId::Snapshot: return "snapshot";
       case OracleId::Replay: return "replay";
       case OracleId::Audit: return "audit";
+      case OracleId::Superblock: return "superblock";
     }
     return "unknown";
 }
@@ -521,6 +555,7 @@ runOracle(OracleId id, const OracleCase &c, Coverage *coverage)
       case OracleId::Snapshot: return runSnapshot(c, coverage);
       case OracleId::Replay: return runReplay(c, coverage);
       case OracleId::Audit: return runAudit(c, coverage);
+      case OracleId::Superblock: return runSuperblock(c, coverage);
     }
     return {};
 }

@@ -1,6 +1,6 @@
 /**
  * @file
- * The four differential oracles the fuzzer checks every case against.
+ * The five differential oracles the fuzzer checks every case against.
  *
  * An `OracleCase` is self-contained and textual — assembly listings
  * plus the world knobs and the forced-brown-out schedule — so a case
@@ -23,6 +23,11 @@
  *    (soundness and completeness of §8.2's taint machine). When the
  *    power trace never lost power after the gadget ran, the
  *    completeness half is inconclusive, not a failure.
+ *  - Superblock: the threaded-code superblock tier vs the reference
+ *    interpreter (§10). Unlike FastRef — whose fast leg carries a
+ *    tracer, which forces per-instruction stepping — the superblock
+ *    leg runs un-instrumented so blocks actually dispatch; the
+ *    reference leg carries the coverage tracer instead.
  */
 
 #ifndef EDB_FUZZ_ORACLE_HH
@@ -45,11 +50,13 @@ enum class OracleId : std::uint8_t
     Snapshot,
     Replay,
     Audit,
+    Superblock,
 };
 
-constexpr unsigned numOracles = 4;
+constexpr unsigned numOracles = 5;
 
-/** Stable artifact name ("fastref", "snapshot", "replay", "audit"). */
+/** Stable artifact name ("fastref", "snapshot", "replay", "audit",
+ *  "superblock"). */
 const char *oracleName(OracleId id);
 std::optional<OracleId> oracleFromName(const std::string &name);
 

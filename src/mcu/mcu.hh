@@ -81,6 +81,20 @@ struct McuConfig
      *  sim().nextEventTime() only after an instruction that could
      *  have scheduled an event (MMIO access, tracer). */
     bool batchedSlices = true;
+    /** Superblock tier on top of the predecode cache: compile hot
+     *  straight-line runs (bounded by branches, barriers and the
+     *  block length cap) into threaded-code blocks, execute their
+     *  thunks back to back and drain the whole block's energy with
+     *  one batched PowerSystem::drainBlock call. Only engages when
+     *  predecodeCache, batchedDrain and batchedSlices are also on;
+     *  falls back to per-instruction stepping whenever the
+     *  brown-out pre-check cannot rule out a mid-block power loss.
+     *  Bit-identical to the reference interpreter. */
+    bool superblocks = true;
+    /** Max instructions per superblock (hard-capped at 32). */
+    unsigned superblockMaxLen = 32;
+    /** Blocks shorter than this are not worth registering. */
+    unsigned superblockMinLen = 3;
     /// @}
 
     /** Hardware checkpoint unit enable (restore-on-boot). */
@@ -215,6 +229,41 @@ class Mcu : public sim::Component
     /** Tick duration of one core clock cycle. */
     sim::Tick cyclePeriod() const { return cyclePeriod_; }
 
+    /** Hard cap on McuConfig::superblockMaxLen (and the span of the
+     *  block-length statistics). */
+    static constexpr unsigned superblockLenCap = 32;
+
+    /** Superblock engine counters (not architectural state; they are
+     *  neither snapshotted nor part of the determinism digest). */
+    struct SuperblockStats
+    {
+        /** Blocks compiled, first builds and rebuilds together. */
+        std::uint64_t blocksBuilt = 0;
+        /** Rebuilds forced by a code-epoch bump (self-modifying
+         *  store, brown-out poison, snapshot restore). */
+        std::uint64_t rebuilds = 0;
+        /** Block dispatches that retired at least one instruction. */
+        std::uint64_t execs = 0;
+        /** Instructions retired inside blocks (the hit-rate
+         *  numerator; instrCount() is the denominator). */
+        std::uint64_t blockInstrs = 0;
+        /** Dispatches that exited early (MMIO operand, faulting
+         *  access, or a store over live code). */
+        std::uint64_t bailouts = 0;
+        /** Dispatches rejected by the segment-fit or brown-out
+         *  admissibility gates (fell back to step()). */
+        std::uint64_t fallbacks = 0;
+        /** Dispatch counts by retired block length. */
+        std::array<std::uint64_t, superblockLenCap + 1> lengthCounts{};
+    };
+
+    const SuperblockStats &superblockStats() const { return sbStats_; }
+
+    /** Monotonic code-cache generation; bumped by the write watch
+     *  when a store lands on live predecoded code and by
+     *  invalidateCodeCaches(). Exposed for tests. */
+    std::uint64_t codeEpoch() const { return codeEpoch_; }
+
   private:
     /** Predecoded-instruction classes: how much of the cycle cost
      *  can be precomputed at decode time. */
@@ -236,6 +285,55 @@ class Mcu : public sim::Component
         InstrClass cls = InstrClass::Static;
     };
 
+    /** One pre-resolved operation thunk of a superblock. */
+    struct SbOp
+    {
+        isa::Instr instr;
+        /** Static cycle cost (the non-FRAM cost for stores). */
+        std::uint32_t cyc = 0;
+        /** Store cost when the EA lands in FRAM; == cyc otherwise. */
+        std::uint32_t framCyc = 0;
+        /** Drain sub-step at `cyc` / at `framCyc`. */
+        energy::PowerSystem::DrainStep step{};
+        energy::PowerSystem::DrainStep framStep{};
+    };
+
+    /** A compiled straight-line region: thunks plus its precomputed
+     *  worst-case drain schedule. Purely an execution-cache artifact;
+     *  never snapshotted. */
+    struct Superblock
+    {
+        mem::Addr base = 0;
+        /** codeEpoch_ at (re)build time; stale => rebuild. */
+        std::uint64_t epoch = 0;
+        /** Upper bound on the block's total drain duration (every
+         *  store charged its FRAM cost). */
+        sim::Tick worstDt = 0;
+        double worstSeconds = 0.0;
+        /** Cached admission threshold for `worstSeconds` and the
+         *  draw-epoch it was computed under (0 = never computed). */
+        double admitVolts = 0.0;
+        std::uint64_t drawStamp = 0;
+        /** Consecutive dispatches that retired zero instructions;
+         *  reset by any retiring dispatch. At sbZeroBailDemoteLimit
+         *  the entry point is demoted to unbuildable (see
+         *  tryRunBlock). */
+        std::uint32_t zeroBails = 0;
+        std::vector<SbOp> ops;
+    };
+
+    /** blockAt_ sentinels. */
+    static constexpr std::int32_t sbNone = -1;
+    static constexpr std::int32_t sbUnbuildable = -2;
+    /** Consecutive zero-retire dispatches before an entry point is
+     *  demoted to unbuildable (a leader whose effective address
+     *  always resolves to MMIO makes every dispatch pure overhead).
+     *  invalidateCodeCaches resets the verdict with the rest. */
+    static constexpr std::uint32_t sbZeroBailDemoteLimit = 16;
+    /** Total block budget (leaders are at most one per code word;
+     *  this just bounds pathological self-modifying workloads). */
+    static constexpr std::size_t sbMaxBlocks = 4096;
+
     void onPowerChange(bool on);
     void boot();
     void runSlice();
@@ -248,6 +346,38 @@ class Mcu : public sim::Component
     void icacheEnsure();
     /** Drop every predecoded instruction (loadProgram, brown-out). */
     void icacheInvalidateAll();
+    /** The one invalidation entry point shared by both decode tiers:
+     *  drops every predecoded word and bumps the code epoch, which
+     *  lazily invalidates every superblock. */
+    void invalidateCodeCaches();
+    /** Decode-time costing shared by step()'s fill path and the
+     *  block builder. */
+    void classifyCost(isa::Opcode op, unsigned &cyc,
+                      InstrClass &cls) const;
+    /** Superblock dispatch: build/validate/admit the block at pc_
+     *  and run it. @return true when >= 1 instruction retired. */
+    bool tryRunBlock(sim::Tick &t, sim::Tick seg_end);
+    std::int32_t buildBlockAt(mem::Addr pc, std::size_t idx);
+    bool buildInto(Superblock &b, mem::Addr pc);
+    bool runBlock(sim::Tick &t, Superblock &b, std::size_t n_max);
+    bool
+    touchesMmio(mem::Addr ea) const
+    {
+        for (const auto &[mbase, mspan] : mmioRanges_) {
+            if (ea - mbase < mspan)
+                return true;
+        }
+        return false;
+    }
+    bool
+    eaInFram(mem::Addr ea) const
+    {
+        for (const auto &[fbase, fspan] : framRanges_) {
+            if (ea - fbase < fspan)
+                return true;
+        }
+        return false;
+    }
     void execute(const isa::Instr &instr, sim::Tick t);
     /** Feed the auditor's taint machine; runs on the pre-execute
      *  register file so effective addresses match the instruction
@@ -307,8 +437,29 @@ class Mcu : public sim::Component
     /** (base, span) of each FRAM region, snapshotted with the icache
      *  so store costing can skip the memory-map lookup. */
     std::vector<std::pair<mem::Addr, mem::Addr>> framRanges_;
+    /** (base, span) of each MMIO region: block thunks bail *before*
+     *  any access that would land here. */
+    std::vector<std::pair<mem::Addr, mem::Addr>> mmioRanges_;
     /** Cached power integration sub-step ceiling. */
     sim::Tick powerMaxStep_ = 0;
+
+    /** Superblock cache: per-leader-word index into blocks_ (or a
+     *  sentinel), parallel to icache_. */
+    std::vector<std::int32_t> blockAt_;
+    std::vector<Superblock> blocks_;
+    /** Code-cache generation. The memory map's write watch holds a
+     *  pointer to this and bumps it whenever a routed store clears a
+     *  live valid byte — the same event that invalidates a
+     *  predecoded word, so both tiers ride one mechanism. Starts at
+     *  1 so a default-constructed Superblock (epoch 0) is stale. */
+    std::uint64_t codeEpoch_ = 1;
+    /** All non-reference fast-path flags required by the block tier,
+     *  resolved once at construction. */
+    bool sbEnabled_ = false;
+    /** Worst-case duration of a full-length block, for the gate that
+     *  stops block *building* near the brown-out threshold. */
+    double sbBuildGateSeconds_ = 0.0;
+    SuperblockStats sbStats_;
 
     ResetHook resetHook;
     Tracer tracer;

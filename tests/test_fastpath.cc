@@ -45,6 +45,7 @@ referencePathConfig()
     config.mcu.flatDispatch = false;
     config.mcu.batchedDrain = false;
     config.mcu.batchedSlices = false;
+    config.mcu.superblocks = false;
     config.power.fastIntegration = false;
     return config;
 }
@@ -224,6 +225,171 @@ incthree:
     // Iterations execute: 1, then +3, +1, +3, +1, +3, +1, +3
     // (iteration i>=2 runs the instruction patched by iteration i-1).
     EXPECT_EQ(mcu.reg(7), 1u + 3 + 1 + 3 + 1 + 3 + 1 + 3);
+}
+
+/** FRAM wear counter of a wisp, for wear-parity assertions. */
+std::uint64_t
+framWrites(target::Wisp &wisp)
+{
+    for (auto *region : wisp.memoryMap().regions())
+        if (region->kind() == mem::RegionKind::Fram)
+            return dynamic_cast<mem::Ram *>(region)->writeCount();
+    return 0;
+}
+
+/** A hot straight-line loop must actually retire instructions inside
+ *  superblocks under the default config — otherwise every other test
+ *  in this file is vacuously comparing interpreter against itself. */
+TEST(Superblock, HotLoopRetiresInsideBlocks)
+{
+    Rig rig;
+    auto &mcu = rig.run(R"(
+main:
+    li   r1, 0
+    li   r2, 2000
+loop:
+    addi r1, r1, 1
+    add  r3, r3, r1
+    cmp  r1, r2
+    bne  loop
+    halt
+)");
+    ASSERT_EQ(mcu.state(), mcu::McuState::Halted);
+    EXPECT_EQ(mcu.reg(1), 2000u);
+    const auto &sb = mcu.superblockStats();
+    EXPECT_GT(sb.blocksBuilt, 0u);
+    EXPECT_GT(sb.execs, 100u);
+    // The loop body dominates: most retirement happens in blocks.
+    EXPECT_GT(sb.blockInstrs, mcu.instrCount() / 2);
+}
+
+/**
+ * Self-modifying code landing *inside a live superblock*: the loop
+ * body is long enough to compile, and the patched slot sits in the
+ * block being executed. The store must bump the code epoch (bailing
+ * out of the running block after the committed store), force a
+ * rebuild on the next dispatch, and the re-decoded instruction must
+ * take effect — matching the reference interpreter bit for bit.
+ */
+TEST(Superblock, PatchInsideLiveBlockForcesRebuild)
+{
+    Rig fast;
+    auto &mcuFast = fast.run(selfModifyingBody);
+    ASSERT_EQ(mcuFast.state(), mcu::McuState::Halted);
+    EXPECT_EQ(mcuFast.reg(4), 42u);
+    // The store into the block advanced the epoch and the next
+    // dispatch rebuilt rather than reusing the stale block.
+    EXPECT_GT(mcuFast.codeEpoch(), 1u);
+    const auto &sb = mcuFast.superblockStats();
+    EXPECT_GT(sb.execs, 0u);
+    EXPECT_GT(sb.rebuilds + sb.blocksBuilt, 1u);
+
+    Rig ref(referencePathConfig());
+    auto &mcuRef = ref.run(selfModifyingBody);
+    ASSERT_EQ(mcuRef.state(), mcu::McuState::Halted);
+    EXPECT_EQ(mcuFast.reg(4), mcuRef.reg(4));
+    EXPECT_EQ(mcuFast.instrCount(), mcuRef.instrCount());
+    EXPECT_EQ(mcuFast.cycleCount(), mcuRef.cycleCount());
+}
+
+/**
+ * Brown-out landing mid-block: on harvested RF power with
+ * checkpointing off, the superblock engine's batched drain must
+ * place every power loss at exactly the same instruction as the
+ * reference interpreter — same reboot count, same resume PC at the
+ * horizon, same FRAM wear, same final capacitor voltage. The
+ * admissibility pre-check makes blocks that *could* die mid-block
+ * fall back to per-instruction stepping, so death always lands with
+ * reference timing.
+ */
+TEST(Superblock, BrownOutMidBlockMatchesReference)
+{
+    struct Probe
+    {
+        std::uint64_t instrs, cycles, reboots, framWear;
+        std::uint32_t pc;
+        double volts;
+        mcu::Mcu::SuperblockStats sb;
+    };
+    auto probe = [](target::WispConfig config) {
+        sim::Simulator simulator(29);
+        energy::RfHarvester rf(30.0, 1.0);
+        target::Wisp wisp(simulator, "wisp", &rf, nullptr, config);
+        wisp.flash(apps::buildLinkedListApp());
+        wisp.start();
+        simulator.runFor(sim::oneSec);
+        Probe p{};
+        p.instrs = wisp.mcu().instrCount();
+        p.cycles = wisp.mcu().cycleCount();
+        p.reboots = wisp.mcu().rebootCount();
+        p.framWear = framWrites(wisp);
+        p.pc = wisp.mcu().pc();
+        p.volts = wisp.voltage();
+        p.sb = wisp.mcu().superblockStats();
+        return p;
+    };
+
+    Probe fast = probe(target::WispConfig{});
+    Probe ref = probe(referencePathConfig());
+
+    // The rig must really brown out while blocks are running.
+    EXPECT_GT(fast.reboots, 0u);
+    EXPECT_GT(fast.sb.execs, 0u);
+    EXPECT_EQ(ref.sb.execs, 0u);
+
+    EXPECT_EQ(fast.instrs, ref.instrs);
+    EXPECT_EQ(fast.cycles, ref.cycles);
+    EXPECT_EQ(fast.reboots, ref.reboots);
+    EXPECT_EQ(fast.framWear, ref.framWear);
+    EXPECT_EQ(fast.pc, ref.pc);
+    EXPECT_EQ(fast.volts, ref.volts);
+}
+
+/**
+ * CHKPT is a block barrier: the straight-line run leading up to it
+ * compiles, the checkpoint itself executes in the interpreter, and
+ * the committed checkpoint (count, FRAM wear from the slot writes,
+ * cycle cost) is identical to the reference path.
+ */
+TEST(Superblock, CheckpointTerminatesBlockWithIdenticalCost)
+{
+    constexpr const char *body = R"(
+main:
+    li   r1, 0
+    li   r2, 7
+    li   r3, 0
+loop:
+    add  r1, r1, r2
+    add  r3, r3, r1
+    addi r4, r4, 1
+    cmpi r4, 50
+    bne  loop
+    chkpt
+    add  r1, r1, r2
+    halt
+)";
+    target::WispConfig chkptOn;
+    chkptOn.mcu.checkpointingEnabled = true;
+    target::WispConfig chkptRef = referencePathConfig();
+    chkptRef.mcu.checkpointingEnabled = true;
+
+    Rig fast(chkptOn);
+    auto &mcuFast = fast.run(body);
+    std::uint64_t fastWear = framWrites(fast.wisp);
+    Rig ref(chkptRef);
+    auto &mcuRef = ref.run(body);
+    std::uint64_t refWear = framWrites(ref.wisp);
+
+    ASSERT_EQ(mcuFast.state(), mcu::McuState::Halted);
+    ASSERT_EQ(mcuRef.state(), mcu::McuState::Halted);
+    EXPECT_EQ(mcuFast.checkpointCount(), 1u);
+    EXPECT_GT(mcuFast.superblockStats().execs, 0u);
+    EXPECT_EQ(mcuFast.reg(1), mcuRef.reg(1));
+    EXPECT_EQ(mcuFast.reg(3), mcuRef.reg(3));
+    EXPECT_EQ(mcuFast.checkpointCount(), mcuRef.checkpointCount());
+    EXPECT_EQ(mcuFast.instrCount(), mcuRef.instrCount());
+    EXPECT_EQ(mcuFast.cycleCount(), mcuRef.cycleCount());
+    EXPECT_EQ(fastWear, refWear);
 }
 
 /**
