@@ -4,10 +4,12 @@
  *
  * Each case is a constrained random EH32 program plus a forced
  * brown-out schedule (src/fuzz/generator.hh), checked against the
- * five oracles in src/fuzz/oracle.hh: fast-vs-reference bit-identity,
+ * six oracles in src/fuzz/oracle.hh: fast-vs-reference bit-identity,
  * snapshot resume-equivalence, from-scratch replay determinism,
- * NV-auditor soundness/completeness, and superblock-vs-reference
- * bit-identity. Coverage feedback (opcodes,
+ * NV-auditor soundness/completeness, superblock-vs-reference
+ * bit-identity, and crash-anywhere checkpoint-commit consistency
+ * (torn NV writes must never yield a hybrid restore).
+ * Coverage feedback (opcodes,
  * opcode x address-class pairs, MMIO registers, power-state edges,
  * reboot-interrupted code buckets) keeps cases that exercised new
  * behaviour in a mutation pool; failures are minimized with the
@@ -75,8 +77,8 @@ runFuzz(const bench::Cli &cli)
     bench::banner(
         "Differential fuzz: " + std::to_string(cases) +
         " cases, seed " + std::to_string(seed) +
-        ", oracles fastref/snapshot/replay/audit/superblock, "
-        "coverage-guided");
+        ", oracles fastref/snapshot/replay/audit/superblock/"
+        "crashanywhere, coverage-guided");
 
     sim::Rng master(seed * 0x9E3779B97F4A7C15ULL + 1);
     fuzz::Coverage global;
@@ -210,7 +212,10 @@ runFuzz(const bench::Cli &cli)
  * Seed-corpus emission: small cases that pass their oracle, one
  * oracle per case round-robin, written as replayable artifacts.
  * Audit artifacts are required to be conclusive (a power loss after
- * the gadget) so the completeness half really replays.
+ * the gadget) so the completeness half really replays; crash-anywhere
+ * artifacts likewise (a tear must actually land inside a commit), so
+ * those specs force checkpointing on and append checkpoint elements
+ * to guarantee commit bursts for the tear to hit.
  */
 int
 emitCorpus(const bench::Cli &cli)
@@ -235,11 +240,20 @@ emitCorpus(const bench::Cli &cli)
         auto id = static_cast<fuzz::OracleId>(
             emitted % fuzz::numOracles);
         fuzz::CaseSpec spec = fuzz::generateCase(caseSeed, small);
+        if (id == fuzz::OracleId::CrashAnywhere) {
+            spec.checkpointing = true;
+            fuzz::Element ck;
+            ck.kind = fuzz::Element::Kind::Chkpt;
+            spec.elements.push_back(ck);
+            spec.elements.push_back(ck);
+        }
         fuzz::OracleCase c = fuzz::makeOracleCase(spec);
         fuzz::OracleOutcome out = fuzz::runOracle(id, c);
         if (out.failed)
             continue;
-        if (id == fuzz::OracleId::Audit && out.inconclusive)
+        if ((id == fuzz::OracleId::Audit ||
+             id == fuzz::OracleId::CrashAnywhere) &&
+            out.inconclusive)
             continue;
 
         char name[64];

@@ -53,6 +53,12 @@ struct Outcome
     bool missingAbortReason = false;
     mcu::Mcu::SuperblockStats sb{};
     std::uint64_t instrs = 0;
+    /** NV backend counters (mem/nv_region.hh): FRAM write traffic,
+     *  per-word wear peak and torn commit bursts. */
+    std::uint64_t nvWrites = 0;
+    std::uint64_t nvMaxWear = 0;
+    std::uint64_t nvTornBursts = 0;
+    std::uint64_t tornCommits = 0;
 };
 
 /** Draw a randomized fault plan; roughly a third of the plans get
@@ -168,6 +174,11 @@ runPlan(std::uint64_t index, const target::WispConfig &wisp_config)
     out.brownOutsForced = inj.stats().brownOutsForced;
     out.sb = wisp.mcu().superblockStats();
     out.instrs = wisp.mcu().instrCount();
+    const mem::NvRegion &fram = wisp.framRegion();
+    out.nvWrites = fram.writeCount();
+    out.nvMaxWear = fram.maxWear();
+    out.nvTornBursts = fram.tornWrites();
+    out.tornCommits = wisp.mcu().tornCommitCount();
     return out;
 }
 
@@ -212,6 +223,11 @@ main(int argc, char **argv)
         total.brownOutsForced += o.brownOutsForced;
         bench::accumulate(total.sb, o.sb);
         total.instrs += o.instrs;
+        total.nvWrites += o.nvWrites;
+        if (o.nvMaxWear > total.nvMaxWear)
+            total.nvMaxWear = o.nvMaxWear;
+        total.nvTornBursts += o.nvTornBursts;
+        total.tornCommits += o.tornCommits;
         if ((i + 1) % 50 == 0)
             std::printf("... %d/%d plans\n", i + 1, plans);
     }
@@ -259,6 +275,12 @@ main(int argc, char **argv)
         .field("resyncs", total.resyncs)
         .object("superblocks",
                 bench::superblockJson(total.sb, total.instrs));
+    bench::Json nv;
+    nv.field("writes", total.nvWrites)
+        .field("max_wear", total.nvMaxWear)
+        .field("torn_bursts", total.nvTornBursts)
+        .field("torn_commits", total.tornCommits);
+    summary.object("nv", nv);
     summary.print();
 
     if (failedPlans == 0 && total.sessions > 0) {

@@ -190,6 +190,11 @@ struct EpisodeResult
      *  where the auditor is detached). */
     mcu::Mcu::SuperblockStats sb{};
     std::uint64_t instrs = 0;
+    /** NV backend counters (mem/nv_region.hh). */
+    std::uint64_t nvWrites = 0;
+    std::uint64_t nvMaxWear = 0;
+    std::uint64_t nvTornBursts = 0;
+    std::uint64_t tornCommits = 0;
 };
 
 EpisodeResult
@@ -227,6 +232,11 @@ runEpisode(std::uint64_t index, const target::WispConfig &config)
     EpisodeResult res;
     res.sb = w.wisp.mcu().superblockStats();
     res.instrs = w.wisp.mcu().instrCount();
+    const mem::NvRegion &fram = w.wisp.framRegion();
+    res.nvWrites = fram.writeCount();
+    res.nvMaxWear = fram.maxWear();
+    res.nvTornBursts = fram.tornWrites();
+    res.tornCommits = w.wisp.mcu().tornCommitCount();
     if (ev.kind == 0)
         return res; // quiet: ran to the horizon without incident
     res.kind = ev.kind;
@@ -279,6 +289,8 @@ main(int argc, char **argv)
     std::uint64_t reproduced = 0, recoveryFailures = 0;
     mcu::Mcu::SuperblockStats sbTotal{};
     std::uint64_t instrTotal = 0;
+    std::uint64_t nvWrites = 0, nvMaxWear = 0, nvTornBursts = 0;
+    std::uint64_t tornCommits = 0;
     const target::WispConfig wispConfig =
         bench::applyEngineFlags(cli);
     for (int i = 0; i < episodes; ++i) {
@@ -286,6 +298,11 @@ main(int argc, char **argv)
             runEpisode(static_cast<std::uint64_t>(i), wispConfig);
         bench::accumulate(sbTotal, r.sb);
         instrTotal += r.instrs;
+        nvWrites += r.nvWrites;
+        if (r.nvMaxWear > nvMaxWear)
+            nvMaxWear = r.nvMaxWear;
+        nvTornBursts += r.nvTornBursts;
+        tornCommits += r.tornCommits;
         if (r.kind == 0)
             ++quiet;
         else if (r.kind == 1)
@@ -307,10 +324,16 @@ main(int argc, char **argv)
         .field("stalls", stallEvents)
         .field("reproduced", reproduced)
         .field("recovery_failures", recoveryFailures);
+    bench::Json nv;
+    nv.field("writes", nvWrites)
+        .field("max_wear", nvMaxWear)
+        .field("torn_bursts", nvTornBursts)
+        .field("torn_commits", tornCommits);
     bench::Json{}
         .object("episodes", ep)
         .object("superblocks",
                 bench::superblockJson(sbTotal, instrTotal))
+        .object("nv", nv)
         .print();
 
     // The gate is real: recovery must never diverge, and with both

@@ -379,6 +379,26 @@ class PowerSystem : public sim::Component
         drain.commit();
     }
 
+    /**
+     * Instantaneous charge withdrawal (coulombs), used by the NV
+     * memory backend to bill energy-per-write against the storage
+     * capacitor. Applied at the capacitor directly — no integration
+     * step — then the comparator re-evaluates, so a write burst can
+     * brown the device out mid-burst exactly like any other load.
+     * No-op while an integration is in flight (batched block drains
+     * never interleave with NV billing; the superblock tier is off
+     * whenever an active NV backend is attached).
+     */
+    void
+    drawCharge(double coulombs)
+    {
+        if (coulombs <= 0.0 || integrating)
+            return;
+        chargeOut += coulombs;
+        cap.addCharge(-coulombs);
+        updateComparator();
+    }
+
     /** Time the analog state has been integrated up to. */
     sim::Tick lastUpdateTick() const { return lastUpdate; }
 

@@ -7,6 +7,7 @@
 #include "energy/harvester.hh"
 #include "isa/assembler.hh"
 #include "mem/nv_audit.hh"
+#include "sim/fault.hh"
 #include "sim/replay.hh"
 #include "sim/rng.hh"
 #include "sim/simulator.hh"
@@ -49,12 +50,19 @@ auditConfigFor(const target::Wisp &wisp)
 }
 
 target::WispConfig
-worldConfig(const OracleCase &c, bool reference, bool checkpointing)
+worldConfig(const OracleCase &c, bool reference, bool checkpointing,
+            bool crash_commit)
 {
     target::WispConfig config;
     config.power.capacitanceF = c.capacitanceF;
     config.power.initialVolts = c.initialVolts;
     config.mcu.checkpointingEnabled = checkpointing;
+    if (crash_commit) {
+        // The crash-anywhere world: sealed frames, commits that can
+        // tear at any NV word.
+        config.mcu.commitDiscipline = mcu::CommitDiscipline::Sealed;
+        config.mcu.interruptibleCommit = true;
+    }
     if (reference) {
         config.mcu.predecodeCache = false;
         config.mcu.flatDispatch = false;
@@ -77,12 +85,18 @@ struct World
         bool withAuditor = false;
         /** false for snapshot-restore legs (no start, no arm). */
         bool startAndArm = true;
+        /** Sealed + interruptible commits (crash-anywhere leg). */
+        bool crashCommit = false;
+        /** NV torn-write fault plan; enabled ⇒ a FaultInjector is
+         *  built and wired into the commit path. */
+        sim::FaultPlan nvPlan = {};
     };
 
     sim::Simulator sim;
     energy::TheveninHarvester src;
     target::Wisp wisp;
     std::unique_ptr<mem::NvAuditor> aud;
+    std::unique_ptr<sim::FaultInjector> fault;
     sim::ScheduleLog log;
     sim::SchedulePlayer player;
 
@@ -104,9 +118,27 @@ struct World
         : sim(c.seed),
           src(sourceParams(c.seed).voc, sourceParams(c.seed).ohms),
           wisp(sim, "wisp", &src, nullptr,
-               worldConfig(c, opt.reference, opt.checkpointing)),
+               worldConfig(c, opt.reference, opt.checkpointing,
+                           opt.crashCommit)),
           player(sim)
     {
+        if (opt.nvPlan.enabled) {
+            fault = std::make_unique<sim::FaultInjector>(
+                sim, "fault", opt.nvPlan);
+            // A forced brown-out models the supply collapsing in the
+            // middle of an NV program pulse: the capacitor is yanked
+            // below the brown-out threshold and the in-flight commit
+            // word tears.
+            fault->armBrownOuts([this] {
+                wisp.power().capacitor().setVoltage(0.5);
+            });
+            mcu::Mcu::NvCommitHooks hooks;
+            hooks.onCommitWord = [this] { fault->onNvCommitWord(); };
+            hooks.onTornWord = [this](std::uint32_t &word) {
+                return fault->onTornWord(word);
+            };
+            wisp.mcu().setNvCommitHooks(hooks);
+        }
         if (opt.withAuditor) {
             aud = std::make_unique<mem::NvAuditor>(auditConfigFor(wisp),
                                                    wisp.framRegion());
@@ -510,6 +542,60 @@ runSuperblock(const OracleCase &c, Coverage *cov)
     return out;
 }
 
+OracleOutcome
+runCrashAnywhere(const OracleCase &c, Coverage *cov)
+{
+    OracleOutcome out;
+    if (!c.checkpointing) {
+        out.inconclusive = true;
+        out.detail = "case runs without checkpointing";
+        return out;
+    }
+
+    isa::Program prog = isa::assemble(c.program);
+    World::Options opt;
+    opt.checkpointing = true;
+    opt.withAuditor = true;
+    opt.crashCommit = true;
+    opt.nvPlan.enabled = true;
+    opt.nvPlan.seed = c.seed ^ 0x63726173ULL; // "cras"
+    {
+        // Seed-derived tear point: any word of any commit burst. The
+        // range comfortably covers a full frame (23 header/seal words
+        // + the stack image), so later commits get hit too.
+        sim::Rng rng(opt.nvPlan.seed);
+        opt.nvPlan.nvTearAtCommitWord = rng.uniformInt(1, 120);
+        opt.nvPlan.nvTornCorruptProb = 0.5;
+    }
+
+    World w(c, prog, opt);
+    w.instrument(cov);
+    w.runTo(c.horizon, cov);
+
+    if (w.aud->unsealedRestoreCount() != 0) {
+        out.failed = true;
+        std::ostringstream s;
+        s << "recovery restored an unsealed frame ("
+          << w.aud->unsealedRestoreCount()
+          << " hybrid restores; tear at commit word "
+          << opt.nvPlan.nvTearAtCommitWord << ", "
+          << w.fault->stats().nvTears << " tears, "
+          << w.wisp.mcu().restoreCount() << " restores)";
+        out.detail = s.str();
+        return out;
+    }
+    if (w.fault->stats().nvTears == 0) {
+        out.inconclusive = true;
+        std::ostringstream s;
+        s << "no tear landed (tear word "
+          << opt.nvPlan.nvTearAtCommitWord << ", "
+          << w.fault->stats().nvCommitWords
+          << " commit words observed)";
+        out.detail = s.str();
+    }
+    return out;
+}
+
 } // namespace
 
 const char *
@@ -521,6 +607,7 @@ oracleName(OracleId id)
       case OracleId::Replay: return "replay";
       case OracleId::Audit: return "audit";
       case OracleId::Superblock: return "superblock";
+      case OracleId::CrashAnywhere: return "crashanywhere";
     }
     return "unknown";
 }
@@ -556,6 +643,8 @@ runOracle(OracleId id, const OracleCase &c, Coverage *coverage)
       case OracleId::Replay: return runReplay(c, coverage);
       case OracleId::Audit: return runAudit(c, coverage);
       case OracleId::Superblock: return runSuperblock(c, coverage);
+      case OracleId::CrashAnywhere:
+        return runCrashAnywhere(c, coverage);
     }
     return {};
 }

@@ -1,6 +1,6 @@
 /**
  * @file
- * The five differential oracles the fuzzer checks every case against.
+ * The six differential oracles the fuzzer checks every case against.
  *
  * An `OracleCase` is self-contained and textual — assembly listings
  * plus the world knobs and the forced-brown-out schedule — so a case
@@ -28,6 +28,16 @@
  *    tracer, which forces per-instruction stepping — the superblock
  *    leg runs un-instrumented so blocks actually dispatch; the
  *    reference leg carries the coverage tracer instead.
+ *  - CrashAnywhere: the torn-write consistency oracle (§11). The
+ *    case runs under the sealed commit discipline with interruptible
+ *    commits, and a fault injector forces a brown-out at a
+ *    seed-derived NV word inside a checkpoint commit burst
+ *    (optionally corrupting the in-flight word). The auditor's seal
+ *    check then asserts every restore replays a frame some completed
+ *    commit actually sealed — the resumed world is the pre- or
+ *    post-checkpoint state, never a hybrid. Cases whose schedule
+ *    never lands a tear inside a commit are inconclusive, not
+ *    failures.
  */
 
 #ifndef EDB_FUZZ_ORACLE_HH
@@ -51,12 +61,13 @@ enum class OracleId : std::uint8_t
     Replay,
     Audit,
     Superblock,
+    CrashAnywhere,
 };
 
-constexpr unsigned numOracles = 5;
+constexpr unsigned numOracles = 6;
 
 /** Stable artifact name ("fastref", "snapshot", "replay", "audit",
- *  "superblock"). */
+ *  "superblock", "crashanywhere"). */
 const char *oracleName(OracleId id);
 std::optional<OracleId> oracleFromName(const std::string &name);
 

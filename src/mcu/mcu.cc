@@ -4,6 +4,8 @@
 
 #include "mcu/mmio_map.hh"
 #include "mem/nv_audit.hh"
+#include "mem/nv_region.hh"
+#include "runtime/checkpoint.hh"
 #include "sim/logging.hh"
 #include "sim/snapshot.hh"
 
@@ -11,16 +13,18 @@ namespace edb::mcu {
 
 namespace {
 
-/** Checkpoint slot field offsets (bytes). */
-constexpr mem::Addr ckMagicOff = 0;
-constexpr mem::Addr ckSeqOff = 4;
-constexpr mem::Addr ckPcOff = 8;
-constexpr mem::Addr ckFlagsOff = 12;
-constexpr mem::Addr ckSpOff = 16;
-constexpr mem::Addr ckStackLenOff = 20;
-constexpr mem::Addr ckRegsOff = 24;
-constexpr mem::Addr ckStackOff = ckRegsOff + 16 * 4;
-constexpr std::uint32_t ckMagic = 0x43484B50; // "CHKP"
+/** Checkpoint slot field offsets (bytes); the canonical frame format
+ *  lives in runtime/checkpoint.hh and is shared with the auditor and
+ *  the tests. */
+constexpr mem::Addr ckMagicOff = runtime::ckfmt::magicOff;
+constexpr mem::Addr ckSeqOff = runtime::ckfmt::seqOff;
+constexpr mem::Addr ckPcOff = runtime::ckfmt::pcOff;
+constexpr mem::Addr ckFlagsOff = runtime::ckfmt::flagsOff;
+constexpr mem::Addr ckSpOff = runtime::ckfmt::spOff;
+constexpr mem::Addr ckStackLenOff = runtime::ckfmt::stackLenOff;
+constexpr mem::Addr ckRegsOff = runtime::ckfmt::regsOff;
+constexpr mem::Addr ckStackOff = runtime::ckfmt::stackOff;
+constexpr std::uint32_t ckMagic = runtime::ckfmt::magic;
 
 } // namespace
 
@@ -259,6 +263,19 @@ Mcu::invalidateCheckpoints()
 }
 
 void
+Mcu::setNvRegion(mem::NvRegion *region)
+{
+    nv_ = region;
+    if (nv_ && nv_->active()) {
+        // Batched block execution skips per-write hooks; an active NV
+        // backend (energy/wear modelling) must see every write, so
+        // force the per-instruction path. (With the code region's
+        // direct store unpublished, blocks could never build anyway.)
+        sbEnabled_ = false;
+    }
+}
+
+void
 Mcu::onPowerChange(bool on)
 {
     if (on) {
@@ -483,7 +500,11 @@ Mcu::step(sim::Tick &t)
             have_dt_sec = false;
         }
     } else if (cls == InstrClass::Chkpt) {
-        if (chkptEnabled) {
+        if (chkptEnabled && !cfg.interruptibleCommit) {
+            // Atomic commit: the whole checkpoint cost is drained
+            // before the burst, so the commit can never tear. The
+            // interruptible path keeps the base cost here and drains
+            // word by word inside doCheckpoint().
             cyc = checkpointCostCycles();
             have_dt_sec = false;
         }
@@ -511,6 +532,13 @@ Mcu::step(sim::Tick &t)
         auditExec(instr);
     execute(instr, t + dt);
     t += dt;
+    if (commitExtraTicks_ != 0) {
+        // An interruptible checkpoint commit advanced the power
+        // system and cursor word by word; fold its duration back
+        // into the slice clock.
+        t += commitExtraTicks_;
+        commitExtraTicks_ = 0;
+    }
     if (state_ != McuState::Running)
         return false;
 
@@ -1263,32 +1291,74 @@ Mcu::checkpointCostCycles() const
     mem::Addr sp = regs[isa::regSp];
     mem::Addr stack_bytes = sp <= cfg.stackTop ? cfg.stackTop - sp : 0;
     unsigned words = 22 + stack_bytes / 4;
+    if (cfg.commitDiscipline == CommitDiscipline::Sealed)
+        ++words; // the seal word
     return words * (1 + cfg.memExtraCycles + cfg.framWriteExtraCycles);
 }
 
-bool
-Mcu::doCheckpoint()
+std::uint32_t
+Mcu::frameCrcAt(mem::Addr base, std::uint32_t stack_bytes,
+                std::uint32_t seq) const
 {
-    mem::Addr sp = regs[isa::regSp];
-    if (sp > cfg.stackTop)
-        return false;
-    mem::Addr stack_bytes = cfg.stackTop - sp;
-    if (ckStackOff + stack_bytes > cfg.checkpointSlotSize)
-        return false;
+    mem::Region *region = mem_.find(base);
+    if (auto *ram = dynamic_cast<mem::Ram *>(region)) {
+        const mem::Addr end = base + ckStackOff + stack_bytes;
+        if (end <= ram->base() + ram->size()) {
+            const std::uint8_t *frame =
+                ram->data() + (base - ram->base());
+            return runtime::ckfmt::frameCrc(frame, stack_bytes, seq);
+        }
+    }
+    // Slow path for exotic layouts: stream the frame byte-wise.
+    std::uint32_t crc = seq;
+    for (mem::Addr off = ckPcOff; off < ckStackOff + stack_bytes;
+         ++off) {
+        std::uint8_t b = 0;
+        mem_.read8(base + off, b);
+        crc = sim::crc32(&b, 1, crc);
+    }
+    return crc;
+}
 
-    // Double-buffered: write into the slot with the older sequence
-    // number, then commit by writing the new sequence number last.
-    std::uint32_t seq0 = debugRead32(cfg.checkpointBase + ckSeqOff);
-    std::uint32_t seq1 = debugRead32(cfg.checkpointBase +
-                                     cfg.checkpointSlotSize + ckSeqOff);
-    int slot = seq0 <= seq1 ? 0 : 1;
-    std::uint32_t next_seq = std::max(seq0, seq1) + 1;
+bool
+Mcu::slotSealed(int slot, std::uint32_t &seq_out) const
+{
     mem::Addr base = cfg.checkpointBase + slot * cfg.checkpointSlotSize;
+    if (debugRead32(base + ckMagicOff) != ckMagic)
+        return false;
+    std::uint32_t seq = debugRead32(base + ckSeqOff);
+    std::uint32_t sp = debugRead32(base + ckSpOff);
+    std::uint32_t stack_bytes = debugRead32(base + ckStackLenOff);
+    if (sp > cfg.stackTop ||
+        ckStackOff + stack_bytes > cfg.checkpointSlotSize ||
+        runtime::ckfmt::sealOff(stack_bytes) + 4 >
+            cfg.checkpointSlotSize) {
+        return false;
+    }
+    std::uint32_t seal =
+        debugRead32(base + runtime::ckfmt::sealOff(stack_bytes));
+    if (seal != frameCrcAt(base, stack_bytes, seq))
+        return false;
+    seq_out = seq;
+    return true;
+}
 
+bool
+Mcu::commitAtomic(mem::Addr base, std::uint32_t sp,
+                  std::uint32_t stack_bytes, std::uint32_t next_seq)
+{
+    const bool naive = cfg.commitDiscipline == CommitDiscipline::Naive;
     // pc saved as the instruction after CHKPT: execution resumes
     // there on restore.
-    if (!memWrite32(base + ckMagicOff, ckMagic) ||
-        !memWrite32(base + ckPcOff, pc_ + 4) ||
+    if (!memWrite32(base + ckMagicOff, ckMagic))
+        return false;
+    // Naive discipline: sequence number written eagerly, before the
+    // payload. Harmless here (the whole burst is atomic) but the
+    // ordering bug it models shows its teeth under interruptible
+    // commits.
+    if (naive && !memWrite32(base + ckSeqOff, next_seq))
+        return false;
+    if (!memWrite32(base + ckPcOff, pc_ + 4) ||
         !memWrite32(base + ckFlagsOff, flags_.pack()) ||
         !memWrite32(base + ckSpOff, sp) ||
         !memWrite32(base + ckStackLenOff, stack_bytes)) {
@@ -1305,11 +1375,135 @@ Mcu::doCheckpoint()
             return false;
         }
     }
-    if (!memWrite32(base + ckSeqOff, next_seq))
+    if (cfg.commitDiscipline == CommitDiscipline::Sealed &&
+        !memWrite32(base + runtime::ckfmt::sealOff(stack_bytes),
+                    frameCrcAt(base, stack_bytes, next_seq))) {
+        return false;
+    }
+    if (!naive && !memWrite32(base + ckSeqOff, next_seq))
+        return false;
+    return true;
+}
+
+bool
+Mcu::commitInterruptible(mem::Addr base, std::uint32_t sp,
+                         std::uint32_t stack_bytes,
+                         std::uint32_t next_seq)
+{
+    const unsigned word_cyc =
+        1 + cfg.memExtraCycles + cfg.framWriteExtraCycles;
+    const sim::Tick word_dt =
+        static_cast<sim::Tick>(word_cyc) * cyclePeriod_;
+    bool torn = false;
+    if (nv_)
+        nv_->beginBurst(base);
+
+    // One NV word write: drain its energy first (the cell program
+    // pulse), then land the value. If the supply browns out during
+    // the pulse the burst tears here -- the word either never lands
+    // or lands with corrupted bits (partial cell write).
+    auto commitWord = [&](mem::Addr addr, std::uint32_t value) {
+        if (torn || state_ != McuState::Running)
+            return false;
+        if (nvHooks_.onCommitWord)
+            nvHooks_.onCommitWord();
+        const sim::Tick at = cursor.now() + word_dt;
+        power.advanceTo(at);
+        cursor.advance(at);
+        cycles += word_cyc;
+        commitExtraTicks_ += word_dt;
+        if (state_ != McuState::Running) {
+            torn = true;
+            std::uint32_t v = value;
+            if (nvHooks_.onTornWord && nvHooks_.onTornWord(v))
+                mem_.write32(addr, v);
+            return false;
+        }
+        if (nv_)
+            nv_->noteBurstWord();
+        return memWrite32(addr, value);
+    };
+    auto stackWord = [&](mem::Addr off) {
+        std::uint32_t w = 0;
+        for (unsigned b = 0; b < 4 && off + b < stack_bytes; ++b) {
+            std::uint8_t byte = 0;
+            mem_.read8(sp + off + b, byte);
+            w |= static_cast<std::uint32_t>(byte) << (8 * b);
+        }
+        return w;
+    };
+
+    const bool naive = cfg.commitDiscipline == CommitDiscipline::Naive;
+    bool ok = commitWord(base + ckMagicOff, ckMagic);
+    if (naive)
+        ok = ok && commitWord(base + ckSeqOff, next_seq);
+    ok = ok && commitWord(base + ckPcOff, pc_ + 4);
+    ok = ok && commitWord(base + ckFlagsOff, flags_.pack());
+    ok = ok && commitWord(base + ckSpOff, sp);
+    ok = ok && commitWord(base + ckStackLenOff, stack_bytes);
+    for (unsigned r = 0; ok && r < isa::numRegs; ++r)
+        ok = commitWord(base + ckRegsOff + r * 4, regs[r]);
+    for (mem::Addr off = 0; ok && off < stack_bytes; off += 4)
+        ok = commitWord(base + ckStackOff + off, stackWord(off));
+    if (ok && cfg.commitDiscipline == CommitDiscipline::Sealed) {
+        ok = commitWord(base + runtime::ckfmt::sealOff(stack_bytes),
+                        frameCrcAt(base, stack_bytes, next_seq));
+    }
+    if (ok && !naive)
+        ok = commitWord(base + ckSeqOff, next_seq);
+
+    if (nv_)
+        nv_->endBurst(torn);
+    if (torn)
+        ++tornCommits_;
+    return ok;
+}
+
+bool
+Mcu::doCheckpoint()
+{
+    mem::Addr sp = regs[isa::regSp];
+    if (sp > cfg.stackTop)
+        return false;
+    mem::Addr stack_bytes = cfg.stackTop - sp;
+    if (ckStackOff + stack_bytes > cfg.checkpointSlotSize)
+        return false;
+    // The interruptible path word-pads the stack image; the sealed
+    // discipline appends the seal word after it. Either needs room.
+    const std::uint32_t padded =
+        runtime::ckfmt::align4(static_cast<std::uint32_t>(stack_bytes));
+    if (cfg.interruptibleCommit &&
+        ckStackOff + padded > cfg.checkpointSlotSize)
+        return false;
+    if (cfg.commitDiscipline == CommitDiscipline::Sealed &&
+        runtime::ckfmt::sealOff(static_cast<std::uint32_t>(
+            stack_bytes)) + 4 > cfg.checkpointSlotSize)
+        return false;
+
+    // Double-buffered: write into the slot with the older sequence
+    // number, then commit by writing the new sequence number last
+    // (SeqLast/Sealed; Naive writes it first, which is the bug the
+    // crash-anywhere oracle exists to catch).
+    std::uint32_t seq0 = debugRead32(cfg.checkpointBase + ckSeqOff);
+    std::uint32_t seq1 = debugRead32(cfg.checkpointBase +
+                                     cfg.checkpointSlotSize + ckSeqOff);
+    int slot = seq0 <= seq1 ? 0 : 1;
+    std::uint32_t next_seq = std::max(seq0, seq1) + 1;
+    mem::Addr base = cfg.checkpointBase + slot * cfg.checkpointSlotSize;
+    if (nv_)
+        nv_->setCommitSlot(slot);
+
+    bool ok = cfg.interruptibleCommit
+                  ? commitInterruptible(base, sp, stack_bytes, next_seq)
+                  : commitAtomic(base, sp, stack_bytes, next_seq);
+    if (!ok)
         return false;
     ++checkpointsTaken;
-    if (audit_)
-        audit_->onCheckpointCommit(cursor.now());
+    if (audit_) {
+        audit_->onCheckpointCommit(
+            cursor.now(), slot,
+            frameCrcAt(base, stack_bytes, next_seq));
+    }
     return true;
 }
 
@@ -1318,14 +1512,28 @@ Mcu::tryRestore()
 {
     int best_slot = -1;
     std::uint32_t best_seq = 0;
-    for (int slot = 0; slot < 2; ++slot) {
-        mem::Addr base =
-            cfg.checkpointBase + slot * cfg.checkpointSlotSize;
-        std::uint32_t magic = debugRead32(base + ckMagicOff);
-        std::uint32_t seq = debugRead32(base + ckSeqOff);
-        if (magic == ckMagic && seq > best_seq) {
-            best_seq = seq;
-            best_slot = slot;
+    if (cfg.commitDiscipline == CommitDiscipline::Sealed) {
+        // Recovery scan: newest *sealed* frame wins. A torn newest
+        // frame fails its seal check and the scan falls back to the
+        // surviving older frame -- crash-anywhere thus resumes from
+        // either the pre- or post-checkpoint world, never a hybrid.
+        for (int slot = 0; slot < 2; ++slot) {
+            std::uint32_t seq = 0;
+            if (slotSealed(slot, seq) && seq > best_seq) {
+                best_seq = seq;
+                best_slot = slot;
+            }
+        }
+    } else {
+        for (int slot = 0; slot < 2; ++slot) {
+            mem::Addr base =
+                cfg.checkpointBase + slot * cfg.checkpointSlotSize;
+            std::uint32_t magic = debugRead32(base + ckMagicOff);
+            std::uint32_t seq = debugRead32(base + ckSeqOff);
+            if (magic == ckMagic && seq > best_seq) {
+                best_seq = seq;
+                best_slot = slot;
+            }
         }
     }
     if (best_slot < 0)
@@ -1349,8 +1557,13 @@ Mcu::tryRestore()
     }
     pc_ = debugRead32(base + ckPcOff);
     ++checkpointsRestored;
-    if (audit_)
-        audit_->onCheckpointRestore(cursor.now());
+    if (audit_) {
+        audit_->onCheckpointRestore(
+            cursor.now(), best_slot,
+            frameCrcAt(base,
+                       static_cast<std::uint32_t>(stack_bytes),
+                       debugRead32(base + ckSeqOff)));
+    }
     return true;
 }
 
@@ -1452,6 +1665,7 @@ Mcu::saveState(sim::SnapshotWriter &w) const
     w.u64(faults);
     w.u64(checkpointsTaken);
     w.u64(checkpointsRestored);
+    w.u64(tornCommits_);
     w.pendingEvent(sliceEvent, sliceDueAt);
     w.pendingEvent(bootEvent, bootDueAt);
 }
@@ -1478,6 +1692,7 @@ Mcu::restoreState(sim::SnapshotReader &r, sim::EventRearmer &rearmer)
     faults = r.u64();
     checkpointsTaken = r.u64();
     checkpointsRestored = r.u64();
+    tornCommits_ = r.u64();
     // The decode caches are epoch artifacts, not architectural
     // state: drop them and let them refill (bit-identical either
     // way). Restored memory bytes may differ arbitrarily from the

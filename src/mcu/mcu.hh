@@ -29,6 +29,7 @@
 
 namespace edb::mem {
 class NvAuditor;
+class NvRegion;
 } // namespace edb::mem
 
 namespace edb::sim {
@@ -38,6 +39,32 @@ class EventRearmer;
 } // namespace edb::sim
 
 namespace edb::mcu {
+
+/**
+ * Checkpoint commit discipline of the hardware checkpoint unit
+ * (DESIGN.md §11). All three double-buffer between the two slots;
+ * they differ in *when* a slot becomes eligible for restore relative
+ * to its payload writes — which is exactly what decides whether a
+ * torn commit can surface as a hybrid state after reboot.
+ */
+enum class CommitDiscipline : std::uint8_t
+{
+    /** Payload first, sequence number last (the seed behaviour).
+     *  A torn commit leaves the victim slot with its old sequence
+     *  number, so restores fall through to the other slot — but
+     *  nothing *verifies* the restored frame. */
+    SeqLast,
+    /** Claim the slot first (magic + sequence number), then write
+     *  the payload. A torn commit leaves the newest sequence number
+     *  on a half-written frame: the restore scan picks it and resumes
+     *  a hybrid state. Exists to give the fault model teeth. */
+    Naive,
+    /** Payload, then a CRC seal binding payload to sequence number,
+     *  then the sequence number. The boot-time recovery scan restores
+     *  the newest frame whose seal verifies and falls back to the
+     *  previous sealed frame when the newest is torn. */
+    Sealed,
+};
 
 /** Static configuration of the MCU core. */
 struct McuConfig
@@ -105,6 +132,17 @@ struct McuConfig
     mem::Addr checkpointSlotSize = 0x800;
     /** Initial stack pointer / top bound of checkpointed stack. */
     mem::Addr stackTop = 0x4000;
+    /** Commit protocol of the checkpoint unit (DESIGN.md §11). */
+    CommitDiscipline commitDiscipline = CommitDiscipline::SeqLast;
+    /**
+     * Interruptible commit: drain each commit word's write energy
+     * individually, so a brown-out (natural or injected) can land
+     * *inside* the FRAM write burst and tear it — prefix committed,
+     * suffix old. Off by default: the seed model drains the whole
+     * checkpoint cost atomically before the burst, which makes
+     * mid-commit tears unrepresentable.
+     */
+    bool interruptibleCommit = false;
 };
 
 /** Lifecycle state of the core. */
@@ -197,6 +235,36 @@ class Mcu : public sim::Component
      */
     void setAuditor(mem::NvAuditor *auditor) { audit_ = auditor; }
     mem::NvAuditor *auditor() const { return audit_; }
+
+    /**
+     * Attach the NV region hosting the checkpoint slots (nullptr
+     * detaches). The commit unit drives its burst latch / commit-slot
+     * selector, and an *active* region (energy/wear modelling on)
+     * disables the superblock tier so batched execution never skips
+     * the per-write energy accounting.
+     */
+    void setNvRegion(mem::NvRegion *region);
+    mem::NvRegion *nvRegion() const { return nv_; }
+
+    /**
+     * Fault-injection hooks of the interruptible commit path.
+     * `onCommitWord` fires before each commit word's energy drain
+     * (wire to FaultInjector::onNvCommitWord); `onTornWord` decides
+     * the disposition of the in-flight word when the burst tears
+     * (wire to FaultInjector::onTornWord).
+     */
+    struct NvCommitHooks
+    {
+        std::function<void()> onCommitWord;
+        std::function<bool(std::uint32_t &)> onTornWord;
+    };
+    void setNvCommitHooks(NvCommitHooks hooks)
+    {
+        nvHooks_ = std::move(hooks);
+    }
+
+    /** Commits that ended torn (power lost mid-burst). */
+    std::uint64_t tornCommitCount() const { return tornCommits_; }
 
     /// @name Snapshot support (see sim/snapshot.hh)
     /// @{
@@ -388,7 +456,21 @@ class Mcu : public sim::Component
     void setFlagsFromCompare(std::uint32_t a, std::uint32_t b);
 
     bool doCheckpoint();
+    /** Atomic commit: every word lands (pre-drained cost). */
+    bool commitAtomic(mem::Addr base, std::uint32_t sp,
+                      std::uint32_t stack_bytes,
+                      std::uint32_t next_seq);
+    /** Interruptible commit: per-word energy drain; can tear. */
+    bool commitInterruptible(mem::Addr base, std::uint32_t sp,
+                             std::uint32_t stack_bytes,
+                             std::uint32_t next_seq);
     bool tryRestore();
+    /** Does the frame in `slot` carry a valid seal? (Sealed scan.) */
+    bool slotSealed(int slot, std::uint32_t &seq_out) const;
+    /** CRC of the frame at `base` (runtime::ckfmt::frameCrc). */
+    std::uint32_t frameCrcAt(mem::Addr base,
+                             std::uint32_t stack_bytes,
+                             std::uint32_t seq) const;
     unsigned checkpointCostCycles() const;
 
     /// Memory helpers that fault on error; return false on fault.
@@ -426,6 +508,12 @@ class Mcu : public sim::Component
     sim::Tick bootDueAt = 0;
 
     mem::NvAuditor *audit_ = nullptr;
+    mem::NvRegion *nv_ = nullptr;
+    NvCommitHooks nvHooks_;
+    /** Ticks spent inside the current interruptible commit, folded
+     *  back into the slice clock by step() after execute(). */
+    sim::Tick commitExtraTicks_ = 0;
+    std::uint64_t tornCommits_ = 0;
 
     /** Predecoded instruction cache, indexed by (pc - icacheBase)/4.
      *  Validity lives in a separate byte vector so wholesale

@@ -142,7 +142,8 @@ NvAuditor::onPowerLoss(sim::Tick now)
 }
 
 void
-NvAuditor::onCheckpointCommit(sim::Tick now)
+NvAuditor::onCheckpointCommit(sim::Tick now, int slot,
+                              std::uint32_t frame_crc)
 {
     // The interval's NV image is now the recovery point; open records
     // are committed, not time-travelling.
@@ -151,16 +152,30 @@ NvAuditor::onCheckpointCommit(sim::Tick now)
     shadow.assign(nv.data() + off, nv.data() + off + cfg.nvSize);
     shadowValid_ = true;
     shadowTick_ = now;
+    if (slot == 0 || slot == 1) {
+        commitCrcValid_[slot] = true;
+        commitCrc_[slot] = frame_crc;
+    }
 }
 
 void
-NvAuditor::onCheckpointRestore(sim::Tick now)
+NvAuditor::onCheckpointRestore(sim::Tick now, int slot,
+                               std::uint32_t frame_crc)
 {
     (void)now;
     // Execution resumes from committed state: anything tracked in the
     // aborted tail is irrelevant to the replayed interval.
     records.clear();
     tainted.fill(false);
+    if (slot == 0 || slot == 1) {
+        // A restore from a frame no completed commit sealed: either
+        // the slot was never committed under audit, or its payload
+        // hash drifted from the committed one (torn or corrupted
+        // frame). Both mean the recovery protocol resurrected state
+        // the commit never vouched for.
+        if (!commitCrcValid_[slot] || commitCrc_[slot] != frame_crc)
+            ++unsealedRestores_;
+    }
 }
 
 void
@@ -176,6 +191,9 @@ NvAuditor::reset()
     shadow.clear();
     shadowValid_ = false;
     shadowTick_ = 0;
+    commitCrcValid_.fill(false);
+    commitCrc_.fill(0);
+    unsealedRestores_ = 0;
 }
 
 std::vector<NvFinding>
@@ -216,6 +234,11 @@ NvAuditor::saveState(sim::SnapshotWriter &w) const
     w.boolean(shadowValid_);
     w.tick(shadowTick_);
     w.blob(shadow.data(), shadow.size());
+    for (int slot = 0; slot < 2; ++slot) {
+        w.boolean(commitCrcValid_[slot]);
+        w.u32(commitCrc_[slot]);
+    }
+    w.u64(unsealedRestores_);
 }
 
 void
@@ -249,6 +272,11 @@ NvAuditor::restoreState(sim::SnapshotReader &r)
     shadowValid_ = r.boolean();
     shadowTick_ = r.tick();
     shadow = r.blob();
+    for (int slot = 0; slot < 2; ++slot) {
+        commitCrcValid_[slot] = r.boolean();
+        commitCrc_[slot] = r.u32();
+    }
+    unsealedRestores_ = r.u64();
 }
 
 std::vector<Addr>

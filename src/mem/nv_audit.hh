@@ -125,8 +125,24 @@ class NvAuditor
     /// @{
     void onBoot(sim::Tick now);
     void onPowerLoss(sim::Tick now);
-    void onCheckpointCommit(sim::Tick now);
-    void onCheckpointRestore(sim::Tick now);
+    /**
+     * A checkpoint committed into `slot` with payload CRC
+     * `frame_crc` (runtime::ckfmt::frameCrc). Slot/CRC are optional:
+     * callers that don't track the frame format pass the defaults
+     * and the seal audit simply stays inert for that slot.
+     */
+    void onCheckpointCommit(sim::Tick now, int slot = -1,
+                            std::uint32_t frame_crc = 0);
+    /**
+     * A restore replayed the frame in `slot` whose payload now
+     * hashes to `frame_crc`. If the slot has no recorded commit CRC,
+     * or the CRCs disagree, the restored frame was never sealed by a
+     * completed commit -- the restore resurrected a torn frame, and
+     * `unsealedRestoreCount()` ticks. This is the crash-anywhere
+     * oracle's hybrid-state detector.
+     */
+    void onCheckpointRestore(sim::Tick now, int slot = -1,
+                             std::uint32_t frame_crc = 0);
     /** Program reload: drop all state. */
     void reset();
     /// @}
@@ -141,6 +157,11 @@ class NvAuditor
     std::vector<NvFinding> takeFindings();
     /** Total violations observed, including beyond the cap. */
     std::uint64_t violationCount() const { return violations; }
+    /** Restores whose frame CRC did not match a recorded commit. */
+    std::uint64_t unsealedRestoreCount() const
+    {
+        return unsealedRestores_;
+    }
     /// @}
 
     /// @name Interval statistics / diagnostics
@@ -217,6 +238,12 @@ class NvAuditor
     std::vector<std::uint8_t> shadow;
     bool shadowValid_ = false;
     sim::Tick shadowTick_ = 0;
+
+    /** Per-slot payload CRC recorded at commit (torn commits never
+     *  record one). */
+    std::array<bool, 2> commitCrcValid_{};
+    std::array<std::uint32_t, 2> commitCrc_{};
+    std::uint64_t unsealedRestores_ = 0;
 };
 
 } // namespace edb::mem

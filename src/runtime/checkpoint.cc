@@ -43,8 +43,9 @@ rt_checkpoint:
     ret
 
 ; rt_checkpoint_if_low: r1 = ADC threshold code. Samples Vcap on
-; ADC channel 0; checkpoints when the reading is at or below the
-; threshold. r0 = 1 if a checkpoint was taken.
+; ADC channel 0; checkpoints when the reading is strictly below the
+; threshold (bgeu: a reading equal to the threshold code skips).
+; r0 = 1 if a checkpoint was taken.
 rt_checkpoint_if_low:
     la   r0, ADC_CTRL
     li   r2, 0                ; channel 0 = Vcap

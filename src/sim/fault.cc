@@ -103,17 +103,48 @@ FaultInjector::onInstruction()
 }
 
 void
+FaultInjector::onNvCommitWord()
+{
+    if (!plan_.enabled)
+        return;
+    ++stats_.nvCommitWords;
+    if (plan_.nvTearAtCommitWord != 0 &&
+        ++nvCommitWordCount == plan_.nvTearAtCommitWord) {
+        ++stats_.nvTears;
+        ++stats_.brownOutsForced;
+        if (brownOutFn)
+            brownOutFn();
+    }
+}
+
+bool
+FaultInjector::onTornWord(std::uint32_t &word)
+{
+    if (!plan_.enabled || !rng.chance(plan_.nvTornCorruptProb))
+        return false;
+    ++stats_.nvTornWordsCorrupted;
+    const int flips = static_cast<int>(rng.uniformInt(1, 4));
+    for (int i = 0; i < flips; ++i)
+        word ^= 1u << rng.uniformInt(0, 31);
+    return true;
+}
+
+void
 FaultInjector::saveState(SnapshotWriter &w) const
 {
     w.section("fault");
     w.rng(rng);
     w.u64(instrCount);
+    w.u64(nvCommitWordCount);
     w.u64(stats_.wireBytes);
     w.u64(stats_.corrupted);
     w.u64(stats_.dropped);
     w.u64(stats_.duplicated);
     w.u64(stats_.adcGlitches);
     w.u64(stats_.brownOutsForced);
+    w.u64(stats_.nvCommitWords);
+    w.u64(stats_.nvTears);
+    w.u64(stats_.nvTornWordsCorrupted);
     // Only brown-outs still in the future are queue residue; fired
     // ones linger in armed_ but are history, not pending state.
     std::uint32_t live = 0;
@@ -134,12 +165,16 @@ FaultInjector::restoreState(SnapshotReader &r, EventRearmer &rearmer)
     r.section("fault");
     r.rng(rng);
     instrCount = r.u64();
+    nvCommitWordCount = r.u64();
     stats_.wireBytes = r.u64();
     stats_.corrupted = r.u64();
     stats_.dropped = r.u64();
     stats_.duplicated = r.u64();
     stats_.adcGlitches = r.u64();
     stats_.brownOutsForced = r.u64();
+    stats_.nvCommitWords = r.u64();
+    stats_.nvTears = r.u64();
+    stats_.nvTornWordsCorrupted = r.u64();
     for (const auto &[id, when] : armed_) {
         if (when > now())
             sim().cancel(id);

@@ -70,6 +70,22 @@ struct FaultPlan
     std::vector<Tick> brownOutAtTick;
     /** Force a brown-out at this retired-instruction count (0 = off). */
     std::uint64_t brownOutAtInstr = 0;
+
+    /// @name Torn NV writes (multi-word commit bursts)
+    /// @{
+    /**
+     * Force a brown-out at the Nth NV commit-burst word (1-based,
+     * counted cumulatively across commits via `onNvCommitWord`;
+     * 0 = off). The power fails while that word's write is in flight,
+     * so the burst tears: the prefix is committed, the suffix keeps
+     * its old contents, and the in-flight word is either unwritten or
+     * — with `nvTornCorruptProb` — lands with corrupted bits.
+     */
+    std::uint64_t nvTearAtCommitWord = 0;
+    /** Probability the in-flight word of a torn burst is written
+     *  with random bits flipped (a partial cell write). */
+    double nvTornCorruptProb = 0.0;
+    /// @}
 };
 
 /** Executes a FaultPlan against a simulation. */
@@ -91,6 +107,9 @@ class FaultInjector : public Component
         std::uint64_t duplicated = 0;
         std::uint64_t adcGlitches = 0;
         std::uint64_t brownOutsForced = 0;
+        std::uint64_t nvCommitWords = 0;
+        std::uint64_t nvTears = 0;
+        std::uint64_t nvTornWordsCorrupted = 0;
     };
 
     FaultInjector(Simulator &simulator, std::string component_name,
@@ -128,6 +147,24 @@ class FaultInjector : public Component
      */
     void onInstruction();
 
+    /**
+     * Count one NV commit-burst word; fires the armed brown-out
+     * callback when the cumulative count reaches
+     * `plan.nvTearAtCommitWord`, producing a torn write. Called by
+     * the MCU's interruptible checkpoint commit before each word's
+     * energy is drained, so the forced voltage drop lands exactly on
+     * that word's drain step — deterministic under the plan.
+     */
+    void onNvCommitWord();
+
+    /**
+     * Disposition of the in-flight word of a torn burst: with
+     * `plan.nvTornCorruptProb`, flips 1..4 random bits in `word` and
+     * returns true (the caller writes the corrupted word); otherwise
+     * returns false (the word is simply never written).
+     */
+    bool onTornWord(std::uint32_t &word);
+
     const Stats &stats() const { return stats_; }
 
     /// @name Snapshot support (see sim/snapshot.hh)
@@ -148,6 +185,7 @@ class FaultInjector : public Component
     Rng rng;
     std::function<void()> brownOutFn;
     std::uint64_t instrCount = 0;
+    std::uint64_t nvCommitWordCount = 0;
     /** Armed brown-out events: (id, due tick), snapshot residue. */
     std::vector<std::pair<EventId, Tick>> armed_;
     Stats stats_;

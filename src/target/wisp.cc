@@ -5,17 +5,34 @@
 
 namespace edb::target {
 
+namespace {
+
+/** Fold the NV technology table into the MCU config before members
+ *  initialize: a nonzero per-tech write latency overrides the
+ *  McuConfig default so checkpoint costing and store costing agree
+ *  with the technology the FRAM region models. */
+WispConfig
+withNvTech(WispConfig config)
+{
+    if (config.nvTech.writeExtraCycles != 0)
+        config.mcu.framWriteExtraCycles =
+            config.nvTech.writeExtraCycles;
+    return config;
+}
+
+} // namespace
+
 Wisp::Wisp(sim::Simulator &simulator, std::string component_name,
            const energy::Harvester *harvester,
            rfid::RfChannel *channel, WispConfig config)
     : sim::Component(simulator, std::move(component_name)),
-      cfg(config),
+      cfg(withNvTech(std::move(config))),
       cursor(simulator),
       power_(simulator, name() + ".power", cfg.power, harvester),
       sram(name() + ".sram", layout::sramBase, layout::sramSize,
            mem::RegionKind::Sram),
       fram(name() + ".fram", layout::framBase, layout::framSize,
-           mem::RegionKind::Fram),
+           mem::RegionKind::Fram, cfg.nvTech),
       mmio(name() + ".mmio", layout::mmioBase, layout::mmioSize),
       gpio_(simulator, name() + ".gpio", cursor),
       uart_(simulator, name() + ".uart0", cursor, power_, cfg.uart),
@@ -49,6 +66,16 @@ Wisp::Wisp(sim::Simulator &simulator, std::string component_name,
 
     // Sensor bus.
     i2c_.attach(&accel_);
+
+    // NV backend: every modelled FRAM write draws its programming
+    // charge straight from the storage capacitor (only while the rail
+    // is up; a dead rail can't program cells). The core gets the
+    // region handle for the checkpoint unit's commit-burst latch.
+    fram.setEnergySink([this](double coulombs) {
+        if (power_.poweredOn())
+            power_.drawCharge(coulombs);
+    });
+    core.setNvRegion(&fram);
 
     // Optional RFID air interface.
     if (channel) {

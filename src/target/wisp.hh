@@ -34,6 +34,7 @@
 #include "mcu/mmio_map.hh"
 #include "mcu/uart.hh"
 #include "mem/memory.hh"
+#include "mem/nv_region.hh"
 #include "rfid/frontend.hh"
 #include "sensors/accelerometer.hh"
 #include "sim/simulator.hh"
@@ -74,6 +75,15 @@ struct WispConfig
     sensors::AccelConfig accel = {};
     /** LED current while lit (paper Section 2.2: ~5x the MCU). */
     double ledAmps = 4.0e-3;
+    /**
+     * NV technology of the FRAM region (mem/nv_region.hh). The
+     * default is passive — bit-identical to the seed's plain Ram. An
+     * active table (framTech()/flashTech()/sttMramTech()) turns on
+     * per-write energy drain, wear tracking and, via
+     * `writeExtraCycles`, the store latency the MCU charges
+     * (overrides `mcu.framWriteExtraCycles` when nonzero).
+     */
+    mem::NvTechConfig nvTech = {};
 };
 
 /** The assembled target device. */
@@ -102,7 +112,7 @@ class Wisp : public sim::Component
     energy::PowerSystem &power() { return power_; }
     mem::MemoryMap &memoryMap() { return map; }
     mem::Ram &sramRegion() { return sram; }
-    mem::Ram &framRegion() { return fram; }
+    mem::NvRegion &framRegion() { return fram; }
     mcu::Gpio &gpio() { return gpio_; }
     mcu::Uart &uart() { return uart_; }
     mcu::I2cController &i2c() { return i2c_; }
@@ -141,7 +151,7 @@ class Wisp : public sim::Component
     sim::TimeCursor cursor;
     energy::PowerSystem power_;
     mem::Ram sram;
-    mem::Ram fram;
+    mem::NvRegion fram;
     mem::MmioRegion mmio;
     mem::MemoryMap map;
     mcu::Gpio gpio_;

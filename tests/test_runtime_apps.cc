@@ -70,6 +70,67 @@ TEST(CheckpointRuntime, AdcCodeConversion)
     EXPECT_NEAR(runtime::adcCodeForVolts(1.5), 2048, 1);
 }
 
+TEST(CheckpointRuntime, AdcCodeBoundaries)
+{
+    // Clamping at both rails, default 12-bit / 3.0 V reference.
+    EXPECT_EQ(runtime::adcCodeForVolts(-0.5), 0u);
+    EXPECT_EQ(runtime::adcCodeForVolts(3.0), 4095u);
+    EXPECT_EQ(runtime::adcCodeForVolts(3.0001), 4095u);
+    // 1.5 V is exactly 2047.5 codes; lround rounds away from zero,
+    // matching mcu::Adc::quantize.
+    EXPECT_EQ(runtime::adcCodeForVolts(1.5), 2048u);
+    // One LSB above zero resolves, one LSB below full scale stays
+    // below it.
+    EXPECT_EQ(runtime::adcCodeForVolts(3.0 / 4095.0), 1u);
+    EXPECT_EQ(runtime::adcCodeForVolts(3.0 * 4094.0 / 4095.0),
+              4094u);
+    // Non-default resolution and reference.
+    EXPECT_EQ(runtime::adcCodeForVolts(0.0, 8, 2.0), 0u);
+    EXPECT_EQ(runtime::adcCodeForVolts(2.0, 8, 2.0), 255u);
+    EXPECT_EQ(runtime::adcCodeForVolts(5.0, 8, 2.0), 255u);
+    EXPECT_EQ(runtime::adcCodeForVolts(1.0, 8, 2.0), 128u);
+    EXPECT_EQ(runtime::adcCodeForVolts(-1.0, 8, 2.0), 0u);
+}
+
+/** rt_checkpoint_if_low at the exact threshold code. The runtime
+ *  documents "strictly below" (bgeu), so a reading equal to the
+ *  threshold must skip and a threshold one code higher must take the
+ *  checkpoint. The ADC's Vcap channel is replaced with a constant
+ *  source so the reading is deterministic. */
+TEST(CheckpointRuntime, ExactThresholdSkipsCheckpoint)
+{
+    const double volts = 1.5;
+    const unsigned code = runtime::adcCodeForVolts(volts);
+    target::WispConfig config;
+    config.mcu.checkpointingEnabled = true;
+    sim::Simulator simulator(72);
+    energy::TheveninHarvester supply(3.0, 50.0);
+    target::Wisp wisp(simulator, "wisp", &supply, nullptr, config);
+    wisp.adc().addChannel(0, [volts] { return volts; });
+    ASSERT_EQ(wisp.adc().quantize(volts), code);
+    std::string source =
+        runtime::programHeader() + "main:\n    li   r1, " +
+        std::to_string(code) + R"(
+    call rt_checkpoint_if_low
+    la   r2, 0x5000
+    stw  r0, [r2]            ; 0 = equal reading skips
+    li   r1, )" + std::to_string(code + 1) +
+        R"(
+    call rt_checkpoint_if_low
+    la   r2, 0x5004
+    stw  r0, [r2]            ; 1 = one code higher takes it
+    halt
+)" + runtime::checkpointSource() +
+        runtime::libedbSource();
+    wisp.flash(isa::assemble(source));
+    wisp.start();
+    simulator.runFor(200 * sim::oneMs);
+    ASSERT_EQ(wisp.state(), mcu::McuState::Halted);
+    EXPECT_EQ(wisp.mcu().debugRead32(0x5000), 0u);
+    EXPECT_EQ(wisp.mcu().debugRead32(0x5004), 1u);
+    EXPECT_EQ(wisp.mcu().checkpointCount(), 1u);
+}
+
 TEST(CheckpointRuntime, VoltageConditionalCheckpoint)
 {
     target::WispConfig config;
