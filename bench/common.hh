@@ -9,6 +9,7 @@
 #ifndef EDB_BENCH_COMMON_HH
 #define EDB_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -17,6 +18,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "edb/board.hh"
 #include "energy/harvester.hh"
@@ -228,8 +230,100 @@ applyEngineFlags(const Cli &cli, target::WispConfig config = {})
     return config;
 }
 
+/// @name Uniform run-shape options
+/// Every soak/fuzz harness accepts `--threads N` (worker threads; 0
+/// = inline) and `--tags N` (world count, where the harness
+/// simulates more than one), and echoes both in its JSON summary
+/// next to the engine flags so a recorded run is reproducible from
+/// the summary line alone.
+/// @{
+inline unsigned
+threadsOption(const Cli &cli)
+{
+    long long t = cli.intOption("threads", 0);
+    return t < 0 ? 0u : static_cast<unsigned>(t);
+}
+
+inline unsigned
+tagsOption(const Cli &cli, unsigned fallback = 1)
+{
+    long long t = cli.intOption("tags", fallback);
+    return t < 1 ? 1u : static_cast<unsigned>(t);
+}
+
+/** Standard run-shape + engine-flag fields for a JSON summary. */
+inline Json &
+runConfigFields(Json &j, const Cli &cli, unsigned default_tags = 1)
+{
+    j.field("threads", static_cast<std::uint64_t>(threadsOption(cli)))
+        .field("tags",
+               static_cast<std::uint64_t>(tagsOption(cli, default_tags)))
+        .field("superblocks",
+               !cli.has("no-superblock") && !cli.has("reference"))
+        .field("reference", cli.has("reference"));
+    return j;
+}
+/// @}
+
+/**
+ * Sample distribution for per-world reporting: fleets and soaks run
+ * many independent worlds, and an aggregate sum hides the spread, so
+ * summaries report min/mean/max and tail percentiles instead of (or
+ * alongside) totals.
+ */
+class Distribution
+{
+  public:
+    void add(double v) { samples.push_back(v); }
+
+    std::size_t n() const { return samples.size(); }
+
+    double
+    sum() const
+    {
+        double s = 0.0;
+        for (double v : samples)
+            s += v;
+        return s;
+    }
+
+    double mean() const { return samples.empty() ? 0.0 : sum() / n(); }
+
+    /** q in [0, 1]; nearest-rank on the sorted samples. */
+    double
+    percentile(double q) const
+    {
+        if (samples.empty())
+            return 0.0;
+        std::vector<double> s = samples;
+        std::sort(s.begin(), s.end());
+        double idx = q * static_cast<double>(s.size() - 1);
+        return s[static_cast<std::size_t>(idx + 0.5)];
+    }
+
+    double min() const { return percentile(0.0); }
+    double max() const { return percentile(1.0); }
+
+    Json
+    json() const
+    {
+        Json j;
+        j.field("n", static_cast<std::uint64_t>(n()))
+            .field("min", min())
+            .field("mean", mean())
+            .field("p50", percentile(0.5))
+            .field("p90", percentile(0.9))
+            .field("max", max());
+        return j;
+    }
+
+  private:
+    std::vector<double> samples;
+};
+
 /** Sum superblock counters across worlds (soaks run one Mcu per
- *  episode/plan but report one aggregate). */
+ *  episode/plan but report one aggregate; fleets report per-world
+ *  `Distribution`s instead — see fleet_soak). */
 inline void
 accumulate(mcu::Mcu::SuperblockStats &into,
            const mcu::Mcu::SuperblockStats &s)

@@ -185,6 +185,7 @@ runFuzz(const bench::Cli &cli)
         shrunkSizes.field(std::to_string(i),
                           failures[i].afterInstrs);
     bench::Json summary;
+    bench::runConfigFields(summary, cli);
     summary.field("cases", cases)
         .field("seed", static_cast<std::uint64_t>(seed))
         .field("oracle_runs", oracleRuns)

@@ -266,6 +266,7 @@ main(int argc, char **argv)
         .field("aborted", total.aborted)
         .field("leaked", total.stuck);
     bench::Json summary;
+    bench::runConfigFields(summary, cli);
     summary.field("plans", plans)
         .field("failed_plans", failedPlans)
         .object("episodes", episodes)

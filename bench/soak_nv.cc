@@ -277,8 +277,9 @@ main(int argc, char **argv)
     sweep.field("cases", sweepCases)
         .field("failed", sweepFailed)
         .field("inconclusive", sweepInconclusive);
-    bench::Json{}
-        .field("episodes_per_cell", episodes)
+    bench::Json summary;
+    bench::runConfigFields(summary, cli);
+    summary.field("episodes_per_cell", episodes)
         .field("seed", seed)
         .object("matrix", matrix)
         .object("sweep", sweep)

@@ -329,8 +329,9 @@ main(int argc, char **argv)
         .field("max_wear", nvMaxWear)
         .field("torn_bursts", nvTornBursts)
         .field("torn_commits", tornCommits);
-    bench::Json{}
-        .object("episodes", ep)
+    bench::Json summary;
+    bench::runConfigFields(summary, cli);
+    summary.object("episodes", ep)
         .object("superblocks",
                 bench::superblockJson(sbTotal, instrTotal))
         .object("nv", nv)

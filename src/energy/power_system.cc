@@ -35,6 +35,13 @@ PowerSystem::start()
     if (started)
         return;
     started = true;
+    if (cfg.bootOnStart && powered) {
+        // A pre-charged device's comparator is already high at
+        // power-up: report the boot the crossing detector can't see.
+        ++boots;
+        for (const auto &listener : listeners)
+            listener(true);
+    }
     tick();
 }
 

@@ -58,6 +58,15 @@ struct PowerSystemConfig
     /** Initial capacitor voltage. */
     double initialVolts = 0.0;
     /**
+     * Fire the power-on transition from `start()` when the initial
+     * voltage is already above turn-on. Historically the comparator
+     * only reports *crossings*, so a pre-charged device stayed
+     * dormant until its first brown-out/recharge cycle; fleet worlds
+     * opt in so a charged tag executes from tick zero. Off by
+     * default to preserve existing single-world trajectories.
+     */
+    bool bootOnStart = false;
+    /**
      * Relative sigma of multiplicative harvester noise, resampled
      * each integration step. Ambient RF power fluctuates with
      * fading, reader frequency hopping and antenna motion; this

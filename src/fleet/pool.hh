@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Work-stealing thread pool for fleet-scale simulation.
+ *
+ * The pool runs *batches*: the caller submits one task per world,
+ * each tagged with a home shard (deque), and blocks until the whole
+ * batch has retired — the fleet's epoch barrier. Workers drain their
+ * own deque from the front and steal from the back of the busiest
+ * victim when empty, so a shard stuck behind an expensive world
+ * (e.g. a tag that stayed powered the whole epoch) sheds its backlog
+ * to idle shards automatically.
+ *
+ * Determinism: the pool schedules *which thread* runs a task, never
+ * *what the task computes* — tasks are per-world closures touching
+ * only their world, and all cross-world coupling happens outside the
+ * pool in the sequential barrier phase. `threads == 0` degenerates
+ * to inline execution on the caller's thread (the 1-shard baseline
+ * the determinism cross-check compares against).
+ *
+ * Deques are mutex-protected rather than lock-free: a task here is
+ * an entire world-epoch (tens of microseconds to milliseconds of
+ * work), so queue overhead is noise and the simple implementation is
+ * trivially ThreadSanitizer-clean.
+ */
+
+#ifndef EDB_FLEET_POOL_HH
+#define EDB_FLEET_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace edb::fleet {
+
+/** Work-stealing batch executor (see file header). */
+class WorkStealingPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /**
+     * @param thread_count Worker threads (and shard deques). 0 runs
+     *        batches inline on the caller's thread with one logical
+     *        shard.
+     */
+    explicit WorkStealingPool(unsigned thread_count);
+    ~WorkStealingPool();
+
+    WorkStealingPool(const WorkStealingPool &) = delete;
+    WorkStealingPool &operator=(const WorkStealingPool &) = delete;
+
+    /** Logical shard count (>= 1 even when inline). */
+    unsigned shards() const { return shardCount; }
+
+    /** Worker threads actually running (0 when inline). */
+    unsigned threads() const
+    {
+        return static_cast<unsigned>(workers.size());
+    }
+
+    /**
+     * Run a batch and wait for it to retire. `tasks[i]` starts on
+     * shard `homeShard[i] % shards()`; work stealing may move it.
+     * Must not be called re-entrantly from a task.
+     */
+    void runBatch(std::vector<Task> tasks,
+                  const std::vector<unsigned> &homeShard);
+
+    /// @name Statistics (stable between batches)
+    /// @{
+    /** Tasks executed by their home shard's worker. */
+    std::uint64_t executedLocal() const { return localRuns; }
+    /** Tasks stolen and executed by another worker. */
+    std::uint64_t executedStolen() const { return stolenRuns; }
+    /// @}
+
+  private:
+    struct Shard
+    {
+        std::mutex mtx;
+        std::deque<Task> q;
+    };
+
+    void workerLoop(unsigned self);
+    bool popLocal(unsigned self, Task &task);
+    bool stealFrom(unsigned self, Task &task);
+
+    unsigned shardCount;
+    std::vector<std::unique_ptr<Shard>> shardQ;
+    std::vector<std::thread> workers;
+
+    std::mutex batchMtx;
+    std::condition_variable workCv;
+    std::condition_variable doneCv;
+    std::size_t remaining = 0;
+    std::uint64_t batchGen = 0;
+    bool shutdown = false;
+
+    std::atomic<std::uint64_t> localRuns{0};
+    std::atomic<std::uint64_t> stolenRuns{0};
+};
+
+} // namespace edb::fleet
+
+#endif // EDB_FLEET_POOL_HH

@@ -1,0 +1,252 @@
+#include "fleet/world.hh"
+
+#include "isa/isa.hh"
+
+namespace edb::fleet {
+
+namespace {
+
+/** ScheduleLog opcode: force the capacitor to `arg` volts. */
+constexpr std::uint32_t opBrownOut = 1;
+
+/** Fleet worlds always boot on start when pre-charged: a tag given
+ *  initial volts above turn-on must execute from tick zero. */
+target::WispConfig
+bootableWisp(target::WispConfig config)
+{
+    config.power.bootOnStart = true;
+    return config;
+}
+
+mem::NvAuditConfig
+auditConfigFor(const target::Wisp &wisp)
+{
+    mem::NvAuditConfig cfg;
+    cfg.nvBase = target::layout::framBase;
+    cfg.nvSize = target::layout::framSize;
+    cfg.checkpointBase = wisp.config().mcu.checkpointBase;
+    cfg.checkpointSpan = 2 * wisp.config().mcu.checkpointSlotSize;
+    return cfg;
+}
+
+} // namespace
+
+World::World(const isa::Program &program, const WorldConfig &config)
+    : cfg(config), sim(config.seed),
+      harvester(config.txPowerDbm, config.distanceM),
+      wisp_(std::make_unique<target::Wisp>(sim, "wisp", &harvester,
+                                           nullptr,
+                                           bootableWisp(config.wisp))),
+      player(sim)
+{
+    wisp_->flash(program);
+    if (cfg.withAuditor) {
+        aud = std::make_unique<mem::NvAuditor>(auditConfigFor(*wisp_),
+                                               wisp_->framRegion());
+        wisp_->mcu().setAuditor(aud.get());
+        wisp_->memoryMap().setWriteHook(&mem::NvAuditor::rawWriteHook,
+                                        aud.get());
+    }
+    if (cfg.withEdb)
+        edb_ = std::make_unique<edbdbg::EdbBoard>(sim, "edb", *wisp_,
+                                                  nullptr);
+    for (const fuzz::BrownOut &b : cfg.schedule)
+        schedule.record(b.at, opBrownOut, b.volts);
+    installHooks();
+}
+
+void
+World::installHooks()
+{
+    if (cfg.warDoneWatch != 0) {
+        // The completeness probe: an open WAR record exposed by a
+        // power loss is exactly what the auditor must flag. The
+        // tracer forces per-instruction stepping for this world
+        // only; throughput worlds never install one.
+        wisp_->mcu().setTracer(
+            [this](mem::Addr pc, const isa::Instr &) {
+                if (pc == cfg.warDoneWatch)
+                    gadgetLive = true;
+            });
+    }
+    wisp_->power().addPowerListener([this](bool on) {
+        if (!on) {
+            if (gadgetLive)
+                ++lossAfterGadget;
+            gadgetLive = false;
+        }
+    });
+}
+
+void
+World::start()
+{
+    wisp_->start();
+    if (!schedule.entries().empty())
+        player.arm(schedule, 0, [this](const sim::ScheduleEntry &e) {
+            if (e.op == opBrownOut)
+                wisp_->power().capacitor().setVoltage(e.arg);
+        });
+}
+
+void
+World::planEpoch(sim::Tick epoch_start, sim::Tick epoch_end,
+                 double carrier_fraction)
+{
+    epochStart = epoch_start;
+    instrsAtEpochStart = instrCount();
+    double frac = carrier_fraction;
+    if (backoff) {
+        frac *= 1.0 - cfg.collisionBackoff;
+        backoff = false;
+    }
+    if (frac <= 0.0) {
+        harvester.setCarrierOn(false);
+        return;
+    }
+    harvester.setCarrierOn(true);
+    if (frac < 1.0) {
+        sim::Tick span = epoch_end - epoch_start;
+        sim::Tick off =
+            epoch_start +
+            static_cast<sim::Tick>(static_cast<double>(span) * frac);
+        if (off < epoch_end)
+            sim.schedule(off,
+                         [this] { harvester.setCarrierOn(false); });
+    }
+}
+
+void
+World::advanceTo(sim::Tick epoch_end)
+{
+    sim.runUntil(epoch_end);
+}
+
+bool
+World::attemptedUplink() const
+{
+    return instrCount() > instrsAtEpochStart;
+}
+
+std::uint64_t
+World::instrCount() const
+{
+    return wisp_->mcu().instrCount();
+}
+
+std::uint64_t
+World::instrsThisEpoch() const
+{
+    return instrCount() - instrsAtEpochStart;
+}
+
+void
+World::noteOutcome(rfid::SlotOutcome outcome)
+{
+    ++attempts;
+    if (outcome == rfid::SlotOutcome::Won) {
+        ++replies;
+    } else {
+        ++collided;
+        backoff = true;
+    }
+}
+
+void
+World::saveTo(sim::SnapshotWriter &w) const
+{
+    wisp_->saveState(w);
+    if (aud)
+        aud->saveState(w);
+    w.section("fleetworld");
+    w.tick(epochStart);
+    w.u64(instrsAtEpochStart);
+    w.boolean(backoff);
+    w.u64(replies);
+    w.u64(collided);
+    w.u64(attempts);
+    w.boolean(gadgetLive);
+    w.u64(lossAfterGadget);
+}
+
+bool
+World::adoptFrom(const World &other)
+{
+    sim::SnapshotWriter w;
+    other.saveTo(w);
+    sim::SnapshotReader r;
+    if (!r.load(w.finish()))
+        return false;
+    sim::EventRearmer rearmer(sim);
+    wisp_->restoreState(r, rearmer);
+    if (aud)
+        aud->restoreState(r);
+    r.section("fleetworld");
+    epochStart = r.tick();
+    instrsAtEpochStart = r.u64();
+    backoff = r.boolean();
+    replies = r.u64();
+    collided = r.u64();
+    attempts = r.u64();
+    gadgetLive = r.boolean();
+    lossAfterGadget = r.u64();
+    if (!r.ok())
+        return false;
+    rearmer.flush();
+    // Re-arm the forced-schedule suffix: entries at or before the
+    // migration tick are already reflected in the restored state.
+    if (!schedule.entries().empty())
+        player.arm(schedule, sim.now(),
+                   [this](const sim::ScheduleEntry &e) {
+                       if (e.op == opBrownOut)
+                           wisp_->power().capacitor().setVoltage(
+                               e.arg);
+                   });
+    return true;
+}
+
+WorldDigest
+World::digest() const
+{
+    // Architectural digest only: raw event-queue ids are excluded on
+    // purpose, because a snapshot round-trip (migration) relabels
+    // them while leaving the continuation bit-identical.
+    sim::SnapshotWriter w;
+    const mcu::Mcu &m = wisp_->mcu();
+    w.u64(m.instrCount());
+    w.u64(m.cycleCount());
+    w.u64(m.rebootCount());
+    w.u64(m.faultCount());
+    w.u64(m.checkpointCount());
+    w.u64(m.restoreCount());
+    w.u64(wisp_->power().bootCount());
+    w.u32(m.pc());
+    w.u8(static_cast<std::uint8_t>(m.state()));
+    w.u32(m.flags().pack());
+    for (unsigned i = 0; i < isa::numRegs; ++i)
+        w.u32(m.reg(i));
+    w.f64(wisp_->power().voltageNoAdvance());
+    w.tick(sim.now());
+    w.rng(sim.rng());
+    const mem::Ram &fram = wisp_->framRegion();
+    w.u32(sim::crc32(fram.data(), fram.size()));
+    const mem::Ram &sram = wisp_->sramRegion();
+    w.u32(sim::crc32(sram.data(), sram.size()));
+    w.u64(wisp_->framRegion().totalWear());
+    if (aud) {
+        w.u64(aud->violationCount());
+        w.u64(aud->unsealedRestoreCount());
+    }
+    w.u64(replies);
+    w.u64(collided);
+    w.u64(attempts);
+    w.u64(lossAfterGadget);
+    std::vector<std::uint8_t> image = w.finish();
+    WorldDigest d;
+    d.crc = sim::crc32(image.data(), image.size());
+    d.instrs = m.instrCount();
+    d.reboots = m.rebootCount();
+    return d;
+}
+
+} // namespace edb::fleet

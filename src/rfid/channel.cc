@@ -67,4 +67,57 @@ RfChannel::framesSent(Direction direction) const
     return direction == Direction::ReaderToTag ? downFrames : upFrames;
 }
 
+SlottedArbiter::SlottedArbiter(RfEnvConfig config, std::uint64_t seed)
+    : cfg(config), seed_(seed), q_(config.initialQ)
+{
+    if (q_ < cfg.minQ)
+        q_ = cfg.minQ;
+    if (q_ > cfg.maxQ)
+        q_ = cfg.maxQ;
+}
+
+std::vector<SlotOutcome>
+SlottedArbiter::resolve(std::uint64_t round,
+                        const std::vector<std::uint32_t> &tags)
+{
+    const std::uint64_t slots = std::uint64_t{1} << q_;
+    // Occupancy by hashed slot choice. Slot choice is a pure hash of
+    // (seed, round, tag) so the outcome cannot depend on resolution
+    // order or thread schedule.
+    std::vector<std::uint64_t> chosen(tags.size());
+    std::vector<std::uint32_t> occupancy(slots, 0);
+    for (std::size_t i = 0; i < tags.size(); ++i) {
+        std::uint64_t h = sim::splitmix64(
+            seed_ ^ sim::splitmix64(round * 0x9E3779B97F4A7C15ULL ^
+                                    tags[i]));
+        chosen[i] = h & (slots - 1);
+        ++occupancy[chosen[i]];
+    }
+    std::vector<SlotOutcome> out(tags.size());
+    std::uint64_t roundSingles = 0, roundCollided = 0;
+    for (std::size_t i = 0; i < tags.size(); ++i) {
+        if (occupancy[chosen[i]] == 1) {
+            out[i] = SlotOutcome::Won;
+            ++roundSingles;
+        } else {
+            out[i] = SlotOutcome::Collided;
+            ++roundCollided;
+        }
+    }
+    std::uint64_t occupied = 0;
+    for (std::uint32_t c : occupancy)
+        occupied += c != 0;
+    ++rounds;
+    singles += roundSingles;
+    collisions += roundCollided;
+    idles += slots - occupied;
+    // Gen2-style Q adaptation, on round totals (deterministic).
+    if (roundCollided > roundSingles && q_ < cfg.maxQ)
+        ++q_;
+    else if (roundCollided == 0 && occupied * 2 < slots &&
+             q_ > cfg.minQ)
+        --q_;
+    return out;
+}
+
 } // namespace edb::rfid

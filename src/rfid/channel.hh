@@ -13,6 +13,7 @@
 #ifndef EDB_RFID_CHANNEL_HH
 #define EDB_RFID_CHANNEL_HH
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -85,6 +86,95 @@ class RfChannel : public sim::Component
     std::uint64_t downFrames = 0;
     std::uint64_t upFrames = 0;
     std::uint64_t corrupted = 0;
+};
+
+/**
+ * Shared RF environment parameters for fleet-scale simulation
+ * (DESIGN.md §12): one reader illuminating many tags. Worlds consume
+ * the *effects* (incident power windows, slot grants) — the model
+ * itself lives outside any single world's simulator so it can be
+ * evaluated once, sequentially, at each epoch barrier.
+ */
+struct RfEnvConfig
+{
+    /** Reader transmit power (paper setup: 30 dBm). */
+    double txPowerDbm = 30.0;
+    /** Fraction of each epoch the carrier illuminates the field. */
+    double dutyCycle = 0.85;
+    /** Tag-to-reader distance distribution (uniform in [min, max]). */
+    double minDistanceM = 0.6;
+    double maxDistanceM = 2.4;
+    /** Initial Q: an inventory round offers 2^Q reply slots. */
+    unsigned initialQ = 4;
+    unsigned minQ = 1;
+    unsigned maxQ = 12;
+    /**
+     * Post-collision backoff: a collided tag loses this fraction of
+     * the next epoch's carrier (the reader spends it re-arbitrating
+     * with others), coupling channel contention back into the energy
+     * model.
+     */
+    double collisionBackoff = 0.5;
+};
+
+/** Outcome of one tag's reply attempt in an arbitration round. */
+enum class SlotOutcome : std::uint8_t
+{
+    Won,      ///< Sole occupant of its slot; reply decoded.
+    Collided, ///< Shared a slot; all occupants lost.
+};
+
+/**
+ * Slotted collision/arbitration model (EPC Gen2 flavoured): each
+ * attempting tag hashes into one of 2^Q slots; a slot with exactly
+ * one occupant is a decoded reply, a slot with more is a collision
+ * that destroys every occupant's reply. Q adapts per round the way
+ * the reader's Q-algorithm does — more collisions than singles grows
+ * the frame, a mostly-idle frame shrinks it.
+ *
+ * Determinism contract (the fleet's epoch barrier depends on it):
+ * `resolve` is a pure function of (constructor seed, round index,
+ * attempt list) — slot choice is a splitmix64 hash, not an RNG draw,
+ * so outcomes are independent of call interleaving and bit-identical
+ * across shard counts. Callers must present attempts in a canonical
+ * order (the fleet uses world-index order).
+ */
+class SlottedArbiter
+{
+  public:
+    explicit SlottedArbiter(RfEnvConfig config = {},
+                            std::uint64_t seed = 1);
+
+    /**
+     * Resolve one arbitration round.
+     * @param round Monotone round (epoch) index.
+     * @param tags Attempting tag ids, canonical order.
+     * @return Per-attempt outcomes, same order as `tags`.
+     */
+    std::vector<SlotOutcome> resolve(std::uint64_t round,
+                                     const std::vector<std::uint32_t> &tags);
+
+    /** Current frame-size exponent (slots = 2^q). */
+    unsigned q() const { return q_; }
+
+    /// @name Statistics
+    /// @{
+    std::uint64_t roundsResolved() const { return rounds; }
+    std::uint64_t singlesTotal() const { return singles; }
+    std::uint64_t collisionsTotal() const { return collisions; }
+    std::uint64_t idleSlotsTotal() const { return idles; }
+    /// @}
+
+    const RfEnvConfig &config() const { return cfg; }
+
+  private:
+    RfEnvConfig cfg;
+    std::uint64_t seed_;
+    unsigned q_;
+    std::uint64_t rounds = 0;
+    std::uint64_t singles = 0;
+    std::uint64_t collisions = 0;
+    std::uint64_t idles = 0;
 };
 
 } // namespace edb::rfid

@@ -3,19 +3,43 @@
 namespace edb::sim {
 
 namespace {
-LogLevel globalLevel = LogLevel::Warn;
+
+StderrSink &
+defaultSink()
+{
+    static StderrSink sink;
+    return sink;
+}
+
 } // namespace
+
+Logger &
+globalLogger()
+{
+    static Logger logger(LogLevel::Warn, &defaultSink());
+    return logger;
+}
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    return globalLogger().level();
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    globalLogger().setLevel(level);
+}
+
+void
+Logger::write(LogLevel level, const std::string &tag,
+              const std::string &msg)
+{
+    LogSink *s = sink_;
+    if (s == nullptr)
+        s = &defaultSink();
+    s->write(level, tag, msg);
 }
 
 namespace detail {
@@ -23,9 +47,9 @@ namespace detail {
 void
 emit(LogLevel level, const std::string &tag, const std::string &msg)
 {
-    if (level > globalLevel && tag != "panic")
+    if (level > globalLogger().level() && tag != "panic")
         return;
-    std::fprintf(stderr, "[%s] %s\n", tag.c_str(), msg.c_str());
+    globalLogger().write(level, tag, msg);
 }
 
 } // namespace detail

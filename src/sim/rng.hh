@@ -17,6 +17,34 @@
 namespace edb::sim {
 
 /**
+ * splitmix64 finalizer: the standard 64-bit avalanche mix. Used to
+ * derive statistically independent per-world seeds from one fleet
+ * seed (`deriveSeed`) so neighbouring world indices do not produce
+ * correlated Mersenne twister streams.
+ */
+constexpr std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Deterministic seed derivation: fleet seed × stream index → world
+ * seed. Two rounds of splitmix64 over the (seed, stream) pair; never
+ * returns 0 so the result is always a valid engine seed.
+ */
+constexpr std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t stream)
+{
+    std::uint64_t s = splitmix64(splitmix64(base) ^
+                                 splitmix64(stream * 0xA24BAED4963EE407ULL));
+    return s == 0 ? 0x9E3779B97F4A7C15ULL : s;
+}
+
+/**
  * Mersenne twister with the std::mt19937_64 parameter set.
  *
  * The C++ standard pins the output of

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sim/event.hh"
+#include "sim/logging.hh"
 #include "sim/rng.hh"
 #include "sim/time.hh"
 
@@ -45,6 +46,15 @@ class Simulator
     /** Deterministic RNG shared by all stochastic models. */
     Rng &rng() { return rngState; }
     const Rng &rng() const { return rngState; }
+
+    /**
+     * World-owned logger. Defaults to the process-wide stderr sink
+     * at Warn; a fleet supervisor re-points it at a shared
+     * thread-safe aggregating sink so concurrently running worlds
+     * never contend on (or interleave in) stderr.
+     */
+    Logger &logger() { return logger_; }
+    const Logger &logger() const { return logger_; }
 
     /** Schedule a callback at an absolute time (must be >= now). */
     EventId
@@ -145,6 +155,7 @@ class Simulator
     Tick currentTick = 0;
     bool stopping = false;
     Rng rngState;
+    Logger logger_;
     std::vector<Component *> componentList;
 };
 
@@ -177,6 +188,9 @@ class Component
 
     /** Current simulated time (convenience). */
     Tick now() const { return sim_.now(); }
+
+    /** World-owned logger (convenience). */
+    Logger &logger() { return sim_.logger(); }
 
   private:
     Simulator &sim_;

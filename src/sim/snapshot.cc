@@ -1,6 +1,7 @@
 #include "sim/snapshot.hh"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <fstream>
 
@@ -11,18 +12,21 @@ namespace {
 const std::uint32_t *
 crcTable()
 {
-    static std::uint32_t table[256];
-    static bool ready = false;
-    if (!ready) {
+    // Magic-static initialization: thread-safe under C++11 (fleet
+    // worker threads snapshot worlds concurrently). The previous
+    // lazily-flagged fill raced when two shards took their first
+    // snapshot at once.
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
         for (std::uint32_t i = 0; i < 256; ++i) {
             std::uint32_t c = i;
             for (int k = 0; k < 8; ++k)
                 c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-            table[i] = c;
+            t[i] = c;
         }
-        ready = true;
-    }
-    return table;
+        return t;
+    }();
+    return table.data();
 }
 
 constexpr std::uint8_t sectionMark = 0xA5;
