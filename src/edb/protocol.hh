@@ -27,6 +27,11 @@
 
 #include "sim/time.hh"
 
+namespace edb::sim {
+class SnapshotWriter;
+class SnapshotReader;
+} // namespace edb::sim
+
 namespace edb::edbdbg {
 
 /** Build one wire frame (sync + len + payload + CRC) around a
@@ -41,6 +46,14 @@ class ProtocolEngine
   public:
     struct Handlers
     {
+        /**
+         * First-shot hook for CRC-valid frames: higher protocols
+         * (the debug server's JSON-RPC layer) see the raw payload
+         * before the target-protocol decoder. Return true to consume
+         * the frame; false falls through to the typed handlers.
+         */
+        std::function<bool(const std::vector<std::uint8_t> &)>
+            rawFrame;
         std::function<void(std::uint16_t)> assertFail;
         std::function<void(std::uint16_t)> bkptHit;
         std::function<void()> guardBegin;
@@ -89,6 +102,15 @@ class ProtocolEngine
     void setInterByteTimeout(sim::Tick t) { interByteTimeout = t; }
 
     const Stats &stats() const { return stats_; }
+
+    /// @name Snapshot support (see sim/snapshot.hh)
+    /// Parser state, partial frame and link-health counters — a
+    /// restored board resumes mid-frame instead of silently starting
+    /// a fresh hunt with zeroed supervision history.
+    /// @{
+    void saveState(sim::SnapshotWriter &w) const;
+    void restoreState(sim::SnapshotReader &r);
+    /// @}
 
   private:
     enum class State

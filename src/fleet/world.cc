@@ -158,6 +158,8 @@ World::saveTo(sim::SnapshotWriter &w) const
     wisp_->saveState(w);
     if (aud)
         aud->saveState(w);
+    if (edb_)
+        edb_->saveState(w);
     w.section("fleetworld");
     w.tick(epochStart);
     w.u64(instrsAtEpochStart);
@@ -181,6 +183,8 @@ World::adoptFrom(const World &other)
     wisp_->restoreState(r, rearmer);
     if (aud)
         aud->restoreState(r);
+    if (edb_)
+        edb_->restoreState(r, rearmer);
     r.section("fleetworld");
     epochStart = r.tick();
     instrsAtEpochStart = r.u64();

@@ -111,4 +111,64 @@ writeListing(std::ostream &os, const Program &program,
     return lines;
 }
 
+SymbolTable
+SymbolTable::fromProgram(const Program &program)
+{
+    SymbolTable t;
+    for (const auto &[name, value] : program.symbols) {
+        t.byName.emplace(name, value);
+        // Ties (aliases for one address) keep the first name in
+        // name order, deterministically.
+        t.byValue.emplace(value, name);
+    }
+    // Line numbers mirror the default writeListing traversal: one
+    // header line, then per segment a segment-header line, label
+    // lines, and one line per word.
+    std::multimap<std::uint32_t, std::string> by_addr;
+    for (const auto &[name, value] : program.symbols)
+        by_addr.emplace(value, name);
+    std::size_t line = 1; // the "; entry ..." header
+    for (const auto &seg : program.segments) {
+        ++line; // "; segment @ ..." header
+        for (std::size_t i = 0; i + 4 <= seg.bytes.size(); i += 4) {
+            Addr addr = seg.base + static_cast<Addr>(i);
+            auto range = by_addr.equal_range(addr);
+            for (auto it = range.first; it != range.second; ++it)
+                ++line; // "label:" line
+            t.lines.emplace(addr, ++line);
+        }
+    }
+    return t;
+}
+
+std::optional<std::uint32_t>
+SymbolTable::lookup(const std::string &name) const
+{
+    auto it = byName.find(name);
+    if (it == byName.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::string
+SymbolTable::symbolize(std::uint32_t addr) const
+{
+    auto it = byValue.upper_bound(addr);
+    if (it == byValue.begin())
+        return "";
+    --it;
+    if (it->first == addr)
+        return it->second;
+    std::ostringstream oss;
+    oss << it->second << "+0x" << std::hex << (addr - it->first);
+    return oss.str();
+}
+
+std::size_t
+SymbolTable::lineOf(Addr addr) const
+{
+    auto it = lines.find(addr);
+    return it == lines.end() ? 0 : it->second;
+}
+
 } // namespace edb::isa

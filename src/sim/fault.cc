@@ -4,6 +4,56 @@
 
 namespace edb::sim {
 
+std::vector<std::uint8_t>
+ClientWireFaults::onFrame(const std::vector<std::uint8_t> &frame)
+{
+    if (!plan_.enabled)
+        return frame;
+    ++stats_.frames;
+    if (wantsDisconnect()) {
+        // Past the disconnect trigger nothing else goes out.
+        ++stats_.disconnects;
+        return {};
+    }
+    std::vector<std::uint8_t> out;
+    if (rng.chance(plan_.garbageProb)) {
+        const int n = static_cast<int>(rng.uniformInt(1, 16));
+        for (int i = 0; i < n; ++i) {
+            out.push_back(static_cast<std::uint8_t>(
+                rng.uniformInt(0, 255)));
+        }
+        stats_.garbageBytes += static_cast<std::uint64_t>(n);
+    }
+    if (rng.chance(plan_.replayProb) && !lastFrame.empty()) {
+        ++stats_.replayed;
+        out.insert(out.end(), lastFrame.begin(), lastFrame.end());
+    }
+    if (rng.chance(plan_.dropProb)) {
+        ++stats_.dropped;
+        return out;
+    }
+    std::vector<std::uint8_t> body = frame;
+    if (rng.chance(plan_.corruptProb) && !body.empty()) {
+        ++stats_.corrupted;
+        const std::size_t at = rng.uniformInt(
+            0, static_cast<std::uint32_t>(body.size() - 1));
+        body[at] ^=
+            static_cast<std::uint8_t>(1u << rng.uniformInt(0, 7));
+    }
+    if (rng.chance(plan_.truncateProb) && body.size() > 1) {
+        ++stats_.truncated;
+        body.resize(rng.uniformInt(
+            1, static_cast<std::uint32_t>(body.size() - 1)));
+    }
+    out.insert(out.end(), body.begin(), body.end());
+    if (rng.chance(plan_.dupProb)) {
+        ++stats_.duplicated;
+        out.insert(out.end(), body.begin(), body.end());
+    }
+    lastFrame = std::move(body);
+    return out;
+}
+
 FaultInjector::FaultInjector(Simulator &simulator,
                              std::string component_name,
                              FaultPlan fault_plan)

@@ -88,6 +88,90 @@ struct FaultPlan
     /// @}
 };
 
+/**
+ * Client-side wire faults for the debug server (DESIGN.md §13): how
+ * an adversarial or unlucky frontend mangles the frames it puts on
+ * its connection. Applied per *frame* (the unit a JSON-RPC client
+ * emits), unlike the per-byte UART model above, so one plan can
+ * express whole-frame pathologies — truncation, replay, duplication,
+ * byte-soup preambles, slowloris trickling and mid-command
+ * disconnects — that a byte-wise model cannot.
+ */
+struct ClientFaultPlan
+{
+    /** Seeds the private random stream. */
+    std::uint64_t seed = 1;
+    /** Master switch; a disabled plan perturbs nothing. */
+    bool enabled = true;
+
+    double corruptProb = 0.0;  ///< Flip one random bit in the frame.
+    double dropProb = 0.0;     ///< Whole frame never sent.
+    double truncateProb = 0.0; ///< Frame cut short mid-payload.
+    double dupProb = 0.0;      ///< Frame sent twice back to back.
+    double replayProb = 0.0;   ///< A previously sent frame re-sent.
+    double garbageProb = 0.0;  ///< 1..16 random bytes injected first.
+
+    /** Deliver at most this many bytes per server poll (0 = no
+     *  limit): the slowloris client, whose frames never finish
+     *  inside the parser's inter-byte window. */
+    unsigned slowlorisBytesPerPoll = 0;
+    /** Hard-disconnect after this many frames (0 = never) — the
+     *  mid-command vanishing client. */
+    std::uint32_t disconnectAfterFrames = 0;
+};
+
+/** Applies a ClientFaultPlan to a client's outbound frames. */
+class ClientWireFaults
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t frames = 0;
+        std::uint64_t corrupted = 0;
+        std::uint64_t dropped = 0;
+        std::uint64_t truncated = 0;
+        std::uint64_t duplicated = 0;
+        std::uint64_t replayed = 0;
+        std::uint64_t garbageBytes = 0;
+        std::uint64_t disconnects = 0;
+    };
+
+    explicit ClientWireFaults(ClientFaultPlan plan)
+        : plan_(plan), rng(plan.seed)
+    {}
+
+    /**
+     * Mangle one outbound frame into the byte sequence actually put
+     * on the wire (possibly empty). Deterministic per plan seed.
+     */
+    std::vector<std::uint8_t>
+    onFrame(const std::vector<std::uint8_t> &frame);
+
+    /** Slowloris byte budget per server poll (0 = unlimited). */
+    unsigned
+    byteBudgetPerPoll() const
+    {
+        return plan_.enabled ? plan_.slowlorisBytesPerPoll : 0;
+    }
+
+    /** True once the disconnect-after-frames trigger has fired. */
+    bool
+    wantsDisconnect() const
+    {
+        return plan_.enabled && plan_.disconnectAfterFrames != 0 &&
+               stats_.frames >= plan_.disconnectAfterFrames;
+    }
+
+    const ClientFaultPlan &plan() const { return plan_; }
+    const Stats &stats() const { return stats_; }
+
+  private:
+    ClientFaultPlan plan_;
+    Rng rng;
+    std::vector<std::uint8_t> lastFrame;
+    Stats stats_;
+};
+
 /** Executes a FaultPlan against a simulation. */
 class FaultInjector : public Component
 {

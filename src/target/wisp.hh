@@ -110,9 +110,12 @@ class Wisp : public sim::Component
     mcu::Mcu &mcu() { return core; }
     const mcu::Mcu &mcu() const { return core; }
     energy::PowerSystem &power() { return power_; }
+    const energy::PowerSystem &power() const { return power_; }
     mem::MemoryMap &memoryMap() { return map; }
     mem::Ram &sramRegion() { return sram; }
+    const mem::Ram &sramRegion() const { return sram; }
     mem::NvRegion &framRegion() { return fram; }
+    const mem::NvRegion &framRegion() const { return fram; }
     mcu::Gpio &gpio() { return gpio_; }
     mcu::Uart &uart() { return uart_; }
     mcu::I2cController &i2c() { return i2c_; }

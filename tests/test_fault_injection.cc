@@ -245,6 +245,63 @@ TEST(ProtocolFuzz, FaultedFrameStreamNeverDesyncsPermanently)
     }
 }
 
+TEST(ProtocolFuzz, SingleBitFlipsNeverDispatchAndNeverWedge)
+{
+    // CRC-8 (poly 0x07) detects every single-bit error, so a frame
+    // with any one bit flipped must be rejected — and the parser must
+    // be back in sync after a link-silence gap, every time.
+    ProtocolEngine engine;
+    engine.setInterByteTimeout(2 * sim::oneMs);
+    EventCounter events;
+    events.attach(engine);
+    std::vector<std::uint8_t> clean =
+        buildFrame({proto::msgGuardBegin});
+    sim::Tick t = 0;
+    for (std::size_t bit = 0; bit < clean.size() * 8; ++bit) {
+        std::vector<std::uint8_t> mangled = clean;
+        mangled[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        for (std::uint8_t b : mangled)
+            engine.onByte(b, t += 10 * sim::oneUs);
+        t += 5 * sim::oneMs; // silence beats the inter-byte timeout
+        int before = events.begins;
+        for (std::uint8_t b : clean)
+            engine.onByte(b, t += 10 * sim::oneUs);
+        EXPECT_EQ(events.begins, before + 1) << "bit " << bit;
+    }
+    // Every dispatched event came from the clean frames alone.
+    EXPECT_EQ(events.total(), events.begins);
+    const auto &s = engine.stats();
+    EXPECT_GT(s.crcErrors + s.strayBytes + s.resyncs, 0u);
+}
+
+TEST(ProtocolFuzz, TruncatedFramesExpireWithinOneTimeout)
+{
+    ProtocolEngine engine;
+    const sim::Tick timeout = 2 * sim::oneMs;
+    engine.setInterByteTimeout(timeout);
+    EventCounter events;
+    events.attach(engine);
+    std::vector<std::uint8_t> clean =
+        buildFrame({proto::msgAssertFail, 0x34, 0x12});
+    sim::Tick t = 0;
+    int rounds = 0;
+    for (std::size_t cut = 1; cut < clean.size(); ++cut, ++rounds) {
+        for (std::size_t i = 0; i < cut; ++i)
+            engine.onByte(clean[i], t += 10 * sim::oneUs);
+        EXPECT_TRUE(engine.midFrame()) << "cut " << cut;
+        // Bounded-time resync: one inter-byte timeout later the
+        // half-frame is dead and a clean frame parses immediately.
+        t += timeout + sim::oneUs;
+        for (std::uint8_t b : clean)
+            engine.onByte(b, t += 10 * sim::oneUs);
+        EXPECT_EQ(events.asserts, rounds + 1) << "cut " << cut;
+        EXPECT_FALSE(engine.midFrame());
+    }
+    EXPECT_GE(engine.stats().resyncs,
+              static_cast<std::uint64_t>(rounds));
+    EXPECT_EQ(events.total(), events.asserts);
+}
+
 /** Target + EDB on a bench supply, stopped at an assert. */
 struct SessionRig
 {
@@ -348,6 +405,41 @@ TEST(DeadLink, CorruptedLinkStillOpensSessionsEventually)
     auto value = session->read32(0x5000, sim::oneSec);
     ASSERT_TRUE(value.has_value());
     EXPECT_EQ(*value, 0xCAFEu);
+    session->resume();
+    EXPECT_TRUE(rig.board.waitPassive(5 * sim::oneSec));
+}
+
+TEST(ProtocolFuzz, TargetParserSurvivesCrcFlipsAndTruncation)
+{
+    // Same hardening, target side: the firmware's __edb_rx_frame
+    // (runtime/libedb.cc) must discard a CRC-flipped frame and slide
+    // past a truncated one without wedging the open session. The
+    // board's bounded read retries absorb whatever the garbage eats.
+    SessionRig rig;
+    ASSERT_TRUE(rig.board.waitForSession(sim::oneSec));
+    auto *session = rig.board.session();
+    ASSERT_EQ(session->read32(0x5000).value_or(0), 0xCAFEu);
+
+    auto injectRaw = [&rig](std::vector<std::uint8_t> bytes) {
+        for (std::uint8_t b : bytes)
+            rig.wisp.debugPort().uart().receiveByte(b);
+        rig.board.pumpFor(10 * sim::oneMs);
+    };
+    // Full frame, one CRC bit flipped: silently discarded.
+    std::vector<std::uint8_t> bad =
+        buildFrame({proto::cmdStatus});
+    bad.back() ^= 0x01;
+    injectRaw(bad);
+    EXPECT_EQ(session->read32(0x5000, sim::oneSec).value_or(0),
+              0xCAFEu);
+
+    // Truncated frame: SYNC + LEN promising 6 bytes, then silence.
+    // The next real command is partially eaten; the retry budget
+    // recovers within its bounded window instead of hanging.
+    injectRaw({proto::syncByte, 6, 0x01});
+    EXPECT_EQ(session->read32(0x5000, sim::oneSec).value_or(0),
+              0xCAFEu);
+    EXPECT_TRUE(session->open());
     session->resume();
     EXPECT_TRUE(rig.board.waitPassive(5 * sim::oneSec));
 }

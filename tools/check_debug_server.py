@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Gate the debug-server chaos soak (bench/soak_debug_server).
+
+The soak prints one JSON summary as its last ``{...}`` line. This
+script reads that output (a file or stdin), extracts the summary and
+enforces the robustness gates independently of the soak's own exit
+code, so a CI wiring mistake (e.g. a pipe swallowing the status)
+cannot silently pass:
+
+  * ``stuck_sessions``, ``interference_violations``,
+    ``oversize_replies`` and ``digest_mismatches`` must all be 0;
+  * every shed/aborted session must be accounted for by a
+    SessionReport (``reported_sheds == sessions_shed``,
+    ``reported_aborts == sessions_aborted``);
+  * the chaos must actually have run (``faults_injected > 0``) and
+    the well-behaved clients must have been served
+    (``good_responses > 0``);
+  * the soak's own verdict (``ok``) must be true.
+
+Usage:
+  soak_debug_server --episodes 30 | check_debug_server.py -
+  check_debug_server.py soak_output.txt
+
+Stdlib only -- runs on a bare CI python3.
+"""
+
+import json
+import sys
+
+ZERO_FIELDS = (
+    "stuck_sessions",
+    "interference_violations",
+    "oversize_replies",
+    "digest_mismatches",
+)
+
+
+def last_json_line(text):
+    """The soak prints the summary as its last JSON object line."""
+    summary = None
+    for line in text.splitlines():
+        line = line.strip()
+        if line.startswith("{") and line.endswith("}"):
+            try:
+                summary = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+    return summary
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    source = sys.argv[1]
+    text = (
+        sys.stdin.read()
+        if source == "-"
+        else open(source).read()
+    )
+    summary = last_json_line(text)
+    if summary is None:
+        sys.exit("no JSON summary line found in soak output")
+
+    failures = []
+    for field in ZERO_FIELDS:
+        if summary.get(field) != 0:
+            failures.append(f"{field}={summary.get(field)!r} != 0")
+    for reported, total in (
+        ("reported_sheds", "sessions_shed"),
+        ("reported_aborts", "sessions_aborted"),
+    ):
+        if summary.get(reported) != summary.get(total):
+            failures.append(
+                f"{reported}={summary.get(reported)!r} != "
+                f"{total}={summary.get(total)!r} "
+                "(silent shed/abort)"
+            )
+    if not summary.get("faults_injected", 0) > 0:
+        failures.append("faults_injected=0: chaos never ran")
+    if not summary.get("good_responses", 0) > 0:
+        failures.append("good_responses=0: no client was served")
+    if summary.get("ok") is not True:
+        failures.append(f"soak verdict ok={summary.get('ok')!r}")
+
+    if failures:
+        for f in failures:
+            print(f"GATE FAIL: {f}", file=sys.stderr)
+        sys.exit(1)
+    print(
+        "debug-server soak gate ok: "
+        f"{summary.get('epochs_run')} epochs, "
+        f"{summary.get('commands_served')} commands, "
+        f"{summary.get('faults_injected')} faults injected, "
+        f"{summary.get('reports')} session reports"
+    )
+
+
+if __name__ == "__main__":
+    main()
