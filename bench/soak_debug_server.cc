@@ -123,7 +123,8 @@ main(int argc, char **argv)
                   activeLeft = 0;
     std::uint64_t framesIn = 0, framesOut = 0, malformed = 0,
                   served = 0, deadlined = 0, backpressured = 0,
-                  probes = 0, hitsDelivered = 0, hitsDropped = 0;
+                  probes = 0, hitsDelivered = 0, hitsDropped = 0,
+                  repliesDropped = 0;
     std::uint64_t faultsInjected = 0;
     std::uint64_t goodResponses = 0, goodHits = 0, goodErrors = 0;
     bench::Json reportJson;
@@ -285,6 +286,7 @@ main(int argc, char **argv)
         probes = st.probesSent;
         hitsDelivered = st.hitsDelivered;
         hitsDropped = st.hitsDropped;
+        repliesDropped = st.repliesDropped;
         reportCount = server.reports().size();
         for (const edbdbg::SessionReport &r : server.reports()) {
             if (r.outcome == edbdbg::SessionOutcome::Shed)
@@ -349,6 +351,7 @@ main(int argc, char **argv)
         .field("probes_sent", probes)
         .field("hits_delivered", hitsDelivered)
         .field("hits_dropped", hitsDropped)
+        .field("replies_dropped", repliesDropped)
         .field("good_responses", goodResponses)
         .field("good_hits", goodHits)
         .field("good_errors", goodErrors)

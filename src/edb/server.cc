@@ -454,10 +454,11 @@ DebugServer::DebugServer(fleet::Fleet &fleet, ServerConfig config)
 DebugServer::~DebugServer()
 {
     // Tracers installed on fleet worlds capture probe objects this
-    // server owns; clear them so the fleet can keep running.
-    for (const auto &[w, probe] : probes) {
+    // server owns; unwind them (restoring any world-owned tracer
+    // they chained under) so the fleet can keep running.
+    for (auto &[w, probe] : probes) {
         if (w < fleet_.size())
-            WorldProbe::uninstall(fleet_.world(w).wisp());
+            probe.uninstall(fleet_.world(w).wisp());
     }
 }
 
@@ -504,8 +505,20 @@ DebugServer::installProbes()
             continue;
         if (probe.empty()) {
             // Last breakpoint on this world is gone: release the
-            // tracer so the superblock tier can resume.
-            WorldProbe::uninstall(fleet_.world(w).wisp());
+            // tracer so the superblock tier can resume. Fold any
+            // still-unaccounted buffer overflow into stats first,
+            // and retire the drop watermark with the probe — a
+            // stale watermark would silently swallow the drops of a
+            // future probe on the same world.
+            probe.uninstall(fleet_.world(w).wisp());
+            const std::uint64_t d = probe.droppedHits();
+            const auto seen = probeDropsSeen.find(w);
+            const std::uint64_t folded =
+                seen == probeDropsSeen.end() ? 0 : seen->second;
+            if (d > folded)
+                stats_.hitsDropped += d - folded;
+            if (seen != probeDropsSeen.end())
+                probeDropsSeen.erase(seen);
             doomed.push_back(w);
             continue;
         }
@@ -961,8 +974,9 @@ DebugServer::dispatchCmd(Session &s, const JsonValue &req)
     enqueueReply(s, o.str());
 }
 
-void
-DebugServer::enqueueReply(Session &s, const std::string &json)
+bool
+DebugServer::enqueueReply(Session &s, const std::string &json,
+                          bool hit_event)
 {
     std::string body = json;
     if (body.size() > proto::maxPayload) {
@@ -975,13 +989,21 @@ DebugServer::enqueueReply(Session &s, const std::string &json)
     if (s.outbox.size() >= 4 * cfg.maxPendingCmds) {
         // Outbox cap: a client that never drains cannot grow
         // unbounded server state; the delivery retry path will shed
-        // it shortly anyway.
-        ++stats_.hitsDropped;
-        ++s.rpt.hitsDropped;
-        return;
+        // it shortly anyway. Shed breakpoint hits and shed command
+        // replies are distinct metrics — the soak gates reason
+        // about hit loss, so RPC responses must not inflate it.
+        if (hit_event) {
+            ++stats_.hitsDropped;
+            ++s.rpt.hitsDropped;
+        } else {
+            ++stats_.repliesDropped;
+            ++s.rpt.repliesDropped;
+        }
+        return false;
     }
     s.outbox.push_back(buildFrame(payload));
     ++stats_.framesOut;
+    return true;
 }
 
 void
@@ -1005,9 +1027,10 @@ DebugServer::deliverHits()
               << hexAddr(h.pc) << ",\"t\":" << h.when << ",\"i\":"
               << h.instrs << ",\"v\":" << h.vcap << ",\"r0\":"
               << h.r0 << "}";
-            enqueueReply(*owner, o.str());
-            ++stats_.hitsDelivered;
-            ++owner->rpt.hitsDelivered;
+            if (enqueueReply(*owner, o.str(), /*hit_event=*/true)) {
+                ++stats_.hitsDelivered;
+                ++owner->rpt.hitsDelivered;
+            }
         }
         // Overflow inside the probe's bounded buffer (hot-loop
         // breakpoints) is also accounted, not silently eaten.

@@ -232,6 +232,9 @@ struct SessionReport
     std::uint64_t commandsBackpressured = 0;
     std::uint64_t hitsDelivered = 0;
     std::uint64_t hitsDropped = 0;
+    /** Command replies shed at the outbox cap (client not draining);
+     *  distinct from hitsDropped, which counts breakpoint hits. */
+    std::uint64_t repliesDropped = 0;
     std::uint64_t deliveryRetries = 0;
 };
 
@@ -253,6 +256,8 @@ class DebugServer
         std::uint64_t sessionsAborted = 0;
         std::uint64_t hitsDelivered = 0;
         std::uint64_t hitsDropped = 0;
+        /** Command replies shed at the outbox cap. */
+        std::uint64_t repliesDropped = 0;
         std::uint64_t evalsCharged = 0;
         /** Per-command capacitor-voltage deltas observed != 0 —
          *  must stay 0 for read-only sessions (interference). */
@@ -322,7 +327,13 @@ class DebugServer
     void onFrame(Session &s, const std::vector<std::uint8_t> &pl);
     void execute(Session &s, const JsonValue &req);
     void dispatchCmd(Session &s, const JsonValue &req);
-    void enqueueReply(Session &s, const std::string &json);
+    /**
+     * Frame `json` into the session outbox; false when shed at the
+     * outbox cap. `hit_event` classifies a shed frame as a dropped
+     * breakpoint hit rather than a dropped command reply.
+     */
+    bool enqueueReply(Session &s, const std::string &json,
+                      bool hit_event = false);
     void terminate(Session &s, SessionOutcome outcome,
                    const std::string &reason);
 

@@ -47,9 +47,15 @@ enum class RelOp
 double
 regionWord(const mem::Ram &region, mem::Addr base, mem::Addr addr)
 {
-    if (addr < base || addr + 4 > base + region.size())
+    // Overflow-proof bounds check: `addr + 4` wraps for addresses
+    // near the top of the 32-bit space, which would let a condition
+    // like nv[0xfffffffe] read far past the region buffer.
+    if (addr < base)
         return 0.0;
-    const std::uint8_t *p = region.data() + (addr - base);
+    const mem::Addr off = addr - base;
+    if (off > region.size() || region.size() - off < 4)
+        return 0.0;
+    const std::uint8_t *p = region.data() + off;
     std::uint32_t w = 0;
     for (int b = 0; b < 4; ++b)
         w |= std::uint32_t(p[b]) << (8 * b);
@@ -393,17 +399,35 @@ VBreakCondition::eval(const target::Wisp &wisp) const
 void
 WorldProbe::install(target::Wisp &wisp)
 {
+    auto &m = wisp.mcu();
+    if (m.tracerOwner() == this)
+        return; // our chain is already on this core
+    // A world may own a tracer of its own (the WAR-gadget watch on
+    // auditor-completeness worlds). Chain under it so attaching a
+    // breakpoint never disables the world's probe; it is restored
+    // verbatim by uninstall().
+    chained = m.tracerHook();
     target::Wisp *device = &wisp;
-    wisp.mcu().setTracer(
-        [this, device](mem::Addr pc, const isa::Instr &) {
+    m.setTracer(
+        [this, device](mem::Addr pc, const isa::Instr &in) {
+            if (chained)
+                chained(pc, in);
             onInstruction(*device, pc);
-        });
+        },
+        this);
 }
 
 void
 WorldProbe::uninstall(target::Wisp &wisp)
 {
-    wisp.mcu().setTracer({});
+    auto &m = wisp.mcu();
+    // A rebalance-migrated world was rebuilt with a fresh core and
+    // its own tracer; only unwind a hook we actually installed —
+    // restoring a stale `chained` there would resurrect a lambda
+    // bound to the old, destroyed world.
+    if (m.tracerOwner() == this)
+        m.setTracer(std::move(chained));
+    chained = {};
 }
 
 void

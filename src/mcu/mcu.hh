@@ -224,8 +224,25 @@ class Mcu : public sim::Component
     /** Peripheral/board reset hook called on each reboot. */
     void setResetHook(ResetHook hook) { resetHook = std::move(hook); }
 
-    /** Optional instruction tracer (tests, debugging). */
-    void setTracer(Tracer t) { tracer = std::move(t); }
+    /**
+     * Optional instruction tracer (tests, debugging). `owner` tags
+     * the installer so layered hooks (e.g. the debug server's world
+     * probes, which chain under a world's own tracer) can tell
+     * whether the installed hook is already theirs.
+     */
+    void
+    setTracer(Tracer t, const void *owner = nullptr)
+    {
+        tracer = std::move(t);
+        tracerOwner_ = owner;
+    }
+
+    /** Tag passed to the setTracer call that installed the current
+     *  hook (nullptr for untagged installs and fresh cores). */
+    const void *tracerOwner() const { return tracerOwner_; }
+
+    /** The currently installed tracer (empty when none). */
+    const Tracer &tracerHook() const { return tracer; }
 
     /**
      * Attach the NV consistency auditor (nullptr detaches). The core
@@ -551,6 +568,7 @@ class Mcu : public sim::Component
 
     ResetHook resetHook;
     Tracer tracer;
+    const void *tracerOwner_ = nullptr;
 
     std::uint64_t cycles = 0;
     std::uint64_t instrs = 0;

@@ -9,12 +9,15 @@ ClientWireFaults::onFrame(const std::vector<std::uint8_t> &frame)
 {
     if (!plan_.enabled)
         return frame;
-    ++stats_.frames;
+    // Trigger check precedes the count so disconnectAfterFrames=N
+    // lets exactly N frames through: the plan promises a disconnect
+    // *after* N frames, not in place of the Nth.
     if (wantsDisconnect()) {
         // Past the disconnect trigger nothing else goes out.
         ++stats_.disconnects;
         return {};
     }
+    ++stats_.frames;
     std::vector<std::uint8_t> out;
     if (rng.chance(plan_.garbageProb)) {
         const int n = static_cast<int>(rng.uniformInt(1, 16));

@@ -154,7 +154,8 @@ class ClientWireFaults
         return plan_.enabled ? plan_.slowlorisBytesPerPoll : 0;
     }
 
-    /** True once the disconnect-after-frames trigger has fired. */
+    /** True once `disconnectAfterFrames` frames have gone out (the
+     *  trigger frame itself is still delivered). */
     bool
     wantsDisconnect() const
     {

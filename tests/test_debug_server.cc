@@ -173,6 +173,68 @@ TEST(VBreakCondition, EvaluatesNvAndSramWords)
     EXPECT_TRUE(evalOn(wisp, "sram[0xffffff00]==0"));
 }
 
+TEST(VBreakCondition, NearOverflowAddressesEvaluateToZero)
+{
+    fleet::Fleet fleet(tinyFleet());
+    target::Wisp &wisp = fleet.world(0).wisp();
+    namespace lay = target::layout;
+
+    // `addr + 4` wraps in 32-bit arithmetic up here; a naive bounds
+    // check passes and reads ~4 GB past the region buffer.
+    EXPECT_TRUE(evalOn(wisp, "nv[0xfffffffe]==0"));
+    EXPECT_TRUE(evalOn(wisp, "nv[0xfffffffc]==0"));
+    EXPECT_TRUE(evalOn(wisp, "sram[0xffffffff]==0"));
+
+    // The last fully in-range word still reads normally...
+    const mem::Addr last = lay::framBase + lay::framSize - 4;
+    wisp.framRegion().write32(last, 0x11223344u);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "nv[0x%x]==0x11223344", last);
+    EXPECT_TRUE(evalOn(wisp, buf));
+    // ...and one byte further straddles the end: out of range again.
+    std::snprintf(buf, sizeof buf, "nv[0x%x]==0", last + 1);
+    EXPECT_TRUE(evalOn(wisp, buf));
+}
+
+// ---------------------------------------------------------------------
+// Probe tracer chaining
+
+TEST(WorldProbe, ChainsUnderAndRestoresWorldOwnedTracer)
+{
+    fleet::Fleet fleet(tinyFleet());
+    target::Wisp &wisp = fleet.world(0).wisp();
+
+    // Stand-in for a world-owned tracer (the WAR-gadget watch on
+    // auditor-completeness worlds).
+    int worldHookCalls = 0;
+    wisp.mcu().setTracer(
+        [&worldHookCalls](mem::Addr, const isa::Instr &) {
+            ++worldHookCalls;
+        });
+
+    edbdbg::WorldProbe probe;
+    edbdbg::VirtualBreakpoint bp;
+    bp.id = 1;
+    bp.sessionId = 1;
+    bp.addr = 0x9000;
+    probe.put(bp);
+    probe.install(wisp);
+    // Reinstall on the same core is a no-op — no self-chaining.
+    probe.install(wisp);
+
+    const isa::Instr nop;
+    wisp.mcu().tracerHook()(0x9000, nop);
+    EXPECT_EQ(worldHookCalls, 1); // world's own hook still fires
+    EXPECT_EQ(probe.evals(), 1u); // exactly once — not chained twice
+    EXPECT_EQ(probe.drainHits().size(), 1u);
+
+    probe.uninstall(wisp);
+    ASSERT_TRUE(static_cast<bool>(wisp.mcu().tracerHook()));
+    wisp.mcu().tracerHook()(0x9000, nop);
+    EXPECT_EQ(worldHookCalls, 2); // restored, not cleared
+    EXPECT_EQ(probe.evals(), 1u); // probe detached
+}
+
 TEST(VBreakCondition, VcapExactlyAtThreshold)
 {
     fleet::Fleet fleet(tinyFleet());

@@ -99,6 +99,31 @@ TEST(FaultInjector, WireFaultRatesMatchThePlan)
     EXPECT_EQ(delivered, n - s.dropped + s.duplicated);
 }
 
+TEST(ClientWireFaults, DisconnectAfterFramesDeliversExactlyN)
+{
+    sim::ClientFaultPlan plan;
+    plan.disconnectAfterFrames = 2;
+    sim::ClientWireFaults faults(plan);
+    const std::vector<std::uint8_t> frame = {1, 2, 3};
+
+    EXPECT_FALSE(faults.wantsDisconnect());
+    EXPECT_EQ(faults.onFrame(frame), frame); // frame 1 delivered
+    EXPECT_FALSE(faults.wantsDisconnect());
+    EXPECT_EQ(faults.onFrame(frame), frame); // frame 2 delivered
+    // The disconnect comes *after* N frames, never instead of the
+    // Nth (N=1 must not mean zero frames sent).
+    EXPECT_TRUE(faults.wantsDisconnect());
+    EXPECT_TRUE(faults.onFrame(frame).empty());
+    EXPECT_EQ(faults.stats().frames, 2u);
+    EXPECT_EQ(faults.stats().disconnects, 1u);
+
+    sim::ClientFaultPlan one;
+    one.disconnectAfterFrames = 1;
+    sim::ClientWireFaults f1(one);
+    EXPECT_EQ(f1.onFrame(frame), frame); // the single promised frame
+    EXPECT_TRUE(f1.onFrame(frame).empty());
+}
+
 TEST(FaultInjector, FadeWindowsAreHalfOpen)
 {
     sim::FaultPlan plan;
