@@ -4,11 +4,14 @@
  *
  * Each case is a constrained random EH32 program plus a forced
  * brown-out schedule (src/fuzz/generator.hh), checked against the
- * six oracles in src/fuzz/oracle.hh: fast-vs-reference bit-identity,
- * snapshot resume-equivalence, from-scratch replay determinism,
- * NV-auditor soundness/completeness, superblock-vs-reference
- * bit-identity, and crash-anywhere checkpoint-commit consistency
- * (torn NV writes must never yield a hybrid restore).
+ * seven oracles in src/fuzz/oracle.hh: fast-vs-reference
+ * bit-identity, snapshot resume-equivalence, from-scratch replay
+ * determinism, NV-auditor soundness/completeness,
+ * superblock-vs-reference bit-identity, crash-anywhere
+ * checkpoint-commit consistency (torn NV writes must never yield a
+ * hybrid restore), and etap static-analyzer soundness (the
+ * worst-case per-boot energy bound vs. measured drain, and the
+ * starvation verdict vs. observed progress).
  * Coverage feedback (opcodes,
  * opcode x address-class pairs, MMIO registers, power-state edges,
  * reboot-interrupted code buckets) keeps cases that exercised new
@@ -29,11 +32,13 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 #include <vector>
 
 #include "bench/common.hh"
+#include "mcu/mmio_map.hh"
 #include "fuzz/corpus.hh"
 #include "fuzz/coverage.hh"
 #include "fuzz/generator.hh"
@@ -210,6 +215,165 @@ runFuzz(const bench::Cli &cli)
 }
 
 /**
+ * Hand-written analyzer-targeted etap cases: program shapes the
+ * random generator rarely produces but the static analyzer must
+ * price correctly — a tight ALU loop, an NV-write-heavy loop, a
+ * checkpointed persist-window loop, and one *true* starvation case
+ * (the LED load exceeds any harvestable inflow, so the bounded main
+ * region can never be paid for in one boot). Each case is
+ * seed-searched until its oracle run is a conclusive pass — and, for
+ * the starvation case, until the analyzer's verdict really is
+ * "starves" while the simulated world shows stalled boots — so the
+ * artifact replays deterministically in test_fuzz_corpus.
+ */
+struct EtapHandmade
+{
+    const char *name;
+    const char *note;
+    const char *body; ///< Listing after the "main:" label.
+    bool checkpointing;
+    bool wantStarve;
+};
+
+constexpr EtapHandmade etapHandmade[] = {
+    {"etap-tightloop", "handcrafted: tight ALU loop, exact trip count",
+     "    li r1, 7\n"
+     "    li r2, 3\n"
+     "    li r10, 16\n"
+     "loop_0:\n"
+     "    addi r1, r1, 5\n"
+     "    addi r2, r2, -1\n"
+     "    addi r10, r10, -1\n"
+     "    cmpi r10, 0\n"
+     "    bne loop_0\n"
+     "    la r8, SSCRATCH\n"
+     "    stw r1, [r8 + 4]\n"
+     "    halt\n",
+     false, false},
+    {"etap-nvwrites", "handcrafted: NV-write-heavy FRAM loop",
+     "    li r10, 12\n"
+     "loop_0:\n"
+     "    la r6, FSCRATCH\n"
+     "    ldw r2, [r6 + 16]\n"
+     "    addi r2, r2, 1\n"
+     "    stw r2, [r6 + 16]\n"
+     "    stw r2, [r6 + 20]\n"
+     "    stw r2, [r6 + 24]\n"
+     "    stw r2, [r6 + 28]\n"
+     "    addi r10, r10, -1\n"
+     "    cmpi r10, 0\n"
+     "    bne loop_0\n"
+     "    halt\n",
+     false, false},
+    {"etap-chkpt", "handcrafted: checkpointed persist windows",
+     "    li r10, 8\n"
+     "loop_0:\n"
+     "    la r6, FSCRATCH\n"
+     "    ldw r2, [r6 + 32]\n"
+     "    addi r2, r2, 1\n"
+     "    stw r2, [r6 + 32]\n"
+     "    chkpt\n"
+     "    addi r10, r10, -1\n"
+     "    cmpi r10, 0\n"
+     "    bne loop_0\n"
+     "    halt\n",
+     true, false},
+    {"etap-starve", "handcrafted: LED load exceeds harvest, starves",
+     "    la r9, MMIO\n"
+     "    li r1, 1\n"
+     "    stw r1, [r9 + 128]\n"
+     "    li r10, 30000\n"
+     "loop_0:\n"
+     "    addi r10, r10, -1\n"
+     "    cmpi r10, 0\n"
+     "    bne loop_0\n"
+     "    li r2, 0\n"
+     "    stw r2, [r9 + 128]\n"
+     "    halt\n",
+     false, true},
+};
+
+std::string
+etapProgram(const char *body)
+{
+    std::string s;
+    s += "; handcrafted etap analyzer case\n";
+    s += ".entry main\n";
+    s += ".equ FSCRATCH, " +
+         std::to_string(fuzz::gen_layout::framScratchBase) + "\n";
+    s += ".equ SSCRATCH, " +
+         std::to_string(fuzz::gen_layout::sramScratchBase) + "\n";
+    s += ".equ MMIO, " + std::to_string(mcu::mmio::base) + "\n";
+    s += "main:\n";
+    s += body;
+    return s;
+}
+
+/** "stallBoots=N" parsed out of an etap outcome detail string. */
+unsigned
+stallBootsOf(const std::string &detail)
+{
+    auto at = detail.find("stallBoots=");
+    if (at == std::string::npos)
+        return 0;
+    return static_cast<unsigned>(
+        std::atoi(detail.c_str() + at + sizeof "stallBoots=" - 1));
+}
+
+int
+emitEtapHandmade(const std::string &dir, int index)
+{
+    for (const EtapHandmade &h : etapHandmade) {
+        bool saved = false;
+        for (std::uint64_t seed = 5000; seed < 5600 && !saved;
+             ++seed) {
+            fuzz::OracleCase c;
+            c.program = etapProgram(h.body);
+            c.seed = seed;
+            c.checkpointing = h.checkpointing;
+            // Below the turn-on threshold, so the first boot is a
+            // natural upward crossing (no forced schedule needed).
+            c.initialVolts = 2.0;
+            fuzz::OracleOutcome out =
+                fuzz::runOracle(fuzz::OracleId::Etap, c);
+            if (out.failed || out.inconclusive)
+                continue;
+            bool starves = out.detail.find("verdict=starves") !=
+                           std::string::npos;
+            if (starves != h.wantStarve)
+                continue;
+            if (h.wantStarve && stallBootsOf(out.detail) < 2)
+                continue; // want the stall visible in ground truth
+
+            char name[64];
+            std::snprintf(name, sizeof name, "seed-%02d-%s.case",
+                          index, h.name);
+            fuzz::Artifact artifact;
+            artifact.oracle = fuzz::OracleId::Etap;
+            artifact.oracleCase = c;
+            artifact.note = std::string(h.note) + ", world seed " +
+                            std::to_string(seed);
+            std::string path = dir + "/" + name;
+            if (!fuzz::saveArtifact(artifact, path)) {
+                std::printf("cannot write %s\n", path.c_str());
+                return -1;
+            }
+            std::printf("emitted %s (%s)\n", path.c_str(),
+                        out.detail.c_str());
+            ++index;
+            saved = true;
+        }
+        if (!saved) {
+            std::printf("no world seed makes %s a conclusive %s\n",
+                        h.name,
+                        h.wantStarve ? "starvation case" : "pass");
+            return -1;
+        }
+    }
+    return index;
+}
+
+/**
  * Seed-corpus emission: small cases that pass their oracle, one
  * oracle per case round-robin, written as replayable artifacts.
  * Audit artifacts are required to be conclusive (a power loss after
@@ -253,7 +417,8 @@ emitCorpus(const bench::Cli &cli)
         if (out.failed)
             continue;
         if ((id == fuzz::OracleId::Audit ||
-             id == fuzz::OracleId::CrashAnywhere) &&
+             id == fuzz::OracleId::CrashAnywhere ||
+             id == fuzz::OracleId::Etap) &&
             out.inconclusive)
             continue;
 
@@ -279,6 +444,8 @@ emitCorpus(const bench::Cli &cli)
                     want);
         return 1;
     }
+    if (emitEtapHandmade(dir, emitted) < 0)
+        return 1;
     return 0;
 }
 

@@ -1,0 +1,1775 @@
+/**
+ * @file
+ * Implementation of the static energy-timing analyzer. See
+ * analyzer.hh for the contract and DESIGN.md §14 for the soundness
+ * argument and the catalogue of over-approximations.
+ *
+ * Pipeline, per analyze() call:
+ *
+ *   1. Decode the reachable code from the program entry (calls are
+ *      stepped over; callee bodies are discovered on demand).
+ *   2. Split the main flow into checkpoint regions: one region per
+ *      persist-point successor; CHKPT and HALT terminate a region.
+ *   3. Per region, run a constant-propagation + LED-state dataflow
+ *      to resolve effective addresses, stored values, sleep
+ *      durations and checkpoint stack depths.
+ *   4. Price every node from the CostModel and collapse the region
+ *      graph by Tarjan SCCs (innermost first), inferring trip
+ *      counts for the two bounded-loop idioms (count-down,
+ *      divide-down) and classifying unbounded loops as io-paced /
+ *      productive / barren.
+ *   5. A reverse-topological DP over the condensation yields
+ *      worst/best-case charge to the first persist, plus an
+ *      inflow-credited lower bound used by the must-starve rule.
+ */
+
+#include "analysis/analyzer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "isa/isa.hh"
+#include "mcu/mmio_map.hh"
+
+namespace edb::analysis {
+
+namespace {
+
+namespace mmio = mcu::mmio;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+const char *
+hex(std::uint32_t v, char *buf)
+{
+    std::snprintf(buf, 16, "0x%X", v);
+    return buf;
+}
+
+std::uint32_t
+brTarget(std::uint32_t pc, const isa::Instr &i)
+{
+    return pc + 4 + static_cast<std::uint32_t>(i.imm);
+}
+
+bool
+isCondBranch(isa::Opcode op)
+{
+    return op >= isa::Opcode::Beq && op <= isa::Opcode::Bgeu;
+}
+
+/** MMIO registers whose value is driven by the environment (or the
+ *  passage of time): a loop exiting on one of these is paced by an
+ *  external event, not spinning on its own state. */
+bool
+isEventRegister(std::uint32_t a)
+{
+    switch (a) {
+      case mmio::gpioIn:
+      case mmio::uart0Status:
+      case mmio::uart0Rx:
+      case mmio::i2cStatus:
+      case mmio::i2cData:
+      case mmio::adcStatus:
+      case mmio::adcValue:
+      case mmio::rfRxStatus:
+      case mmio::rfRxLen:
+      case mmio::rfRxByte:
+      case mmio::rfTxStatus:
+      case mmio::dbgReq:
+      case mmio::dbgUartStatus:
+      case mmio::dbgUartRx:
+      case mmio::bkptMask:
+      case mmio::cycleLo:
+      case mmio::cycleHi:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::optional<std::uint32_t>
+fetch32(const isa::Program &p, std::uint32_t addr)
+{
+    for (const auto &seg : p.segments) {
+        if (addr < seg.base)
+            continue;
+        std::uint64_t off = addr - seg.base;
+        if (off + 4 > seg.bytes.size())
+            continue;
+        return static_cast<std::uint32_t>(seg.bytes[off]) |
+               static_cast<std::uint32_t>(seg.bytes[off + 1]) << 8 |
+               static_cast<std::uint32_t>(seg.bytes[off + 2]) << 16 |
+               static_cast<std::uint32_t>(seg.bytes[off + 3]) << 24;
+    }
+    return std::nullopt;
+}
+
+// ------------------------------------------------------------------
+// Abstract state: constant propagation over the 16 registers plus a
+// 3-valued LED lattice (Inherit is the callee-summary placeholder:
+// "whatever the LED was at the callsite").
+
+enum LedState : std::uint8_t
+{
+    ledOff = 0,
+    ledOn = 1,
+    ledUnk = 2,
+    ledInherit = 3
+};
+
+struct AbsState
+{
+    bool live = false;
+    std::uint16_t known = 0;
+    std::uint32_t v[isa::numRegs] = {};
+    std::uint8_t led = ledOff;
+
+    bool
+    knows(unsigned r) const
+    {
+        return (known >> r) & 1u;
+    }
+    void
+    set(unsigned r, std::uint32_t val)
+    {
+        known |= 1u << r;
+        v[r] = val;
+    }
+    void
+    kill(unsigned r)
+    {
+        known &= ~(1u << r);
+    }
+};
+
+/** Lattice meet: keep a register only when both sides agree. */
+bool
+meetInto(AbsState &a, const AbsState &b)
+{
+    if (!b.live)
+        return false;
+    if (!a.live) {
+        a = b;
+        return true;
+    }
+    bool changed = false;
+    for (unsigned r = 0; r < isa::numRegs; ++r) {
+        if (a.knows(r) && (!b.knows(r) || a.v[r] != b.v[r])) {
+            a.kill(r);
+            changed = true;
+        }
+    }
+    if (a.led != b.led && a.led != ledUnk) {
+        a.led = ledUnk;
+        changed = true;
+    }
+    return changed;
+}
+
+struct Ea
+{
+    bool known = false;
+    std::uint32_t addr = 0;
+    /** sp-relative with unknown sp: assume the SRAM stack. */
+    bool stackish = false;
+};
+
+Ea
+resolveEa(const AbsState &s, const isa::Instr &i)
+{
+    Ea ea;
+    if (s.knows(i.rs)) {
+        ea.known = true;
+        ea.addr = s.v[i.rs] + static_cast<std::uint32_t>(i.imm);
+    } else if (i.rs == isa::regSp) {
+        ea.stackish = true;
+    }
+    return ea;
+}
+
+// ------------------------------------------------------------------
+// Path-cost vector. Cycles are bucketed by LED state so charge can
+// be derived at the end; Inherit buckets belong to callee summaries
+// and are folded into on/off at the callsite. "Max" fields track
+// the costliest path, "Min" fields the cheapest; netOn/netOffMin
+// are the inflow-credited signed drains minimized along paths
+// (the must-starve rule S2 needs a true lower bound, and with
+// negative per-node weights it cannot be derived from the other
+// minima).
+
+struct PathCost
+{
+    double onCycMax = 0, offCycMax = 0, inhCycMax = 0;
+    double onCycMin = 0, offCycMin = 0, inhCycMin = 0;
+    double onSlpMax = 0, offSlpMax = 0, inhSlpMax = 0;
+    double onSlpMin = 0, offSlpMin = 0, inhSlpMin = 0;
+    double fixMax = 0, fixMin = 0;
+    double insMax = 0, insMin = 0;
+    double netOnMin = 0, netOffMin = 0;
+};
+
+PathCost
+addCost(const PathCost &a, const PathCost &b)
+{
+    PathCost r;
+    r.onCycMax = a.onCycMax + b.onCycMax;
+    r.offCycMax = a.offCycMax + b.offCycMax;
+    r.inhCycMax = a.inhCycMax + b.inhCycMax;
+    r.onCycMin = a.onCycMin + b.onCycMin;
+    r.offCycMin = a.offCycMin + b.offCycMin;
+    r.inhCycMin = a.inhCycMin + b.inhCycMin;
+    r.onSlpMax = a.onSlpMax + b.onSlpMax;
+    r.offSlpMax = a.offSlpMax + b.offSlpMax;
+    r.inhSlpMax = a.inhSlpMax + b.inhSlpMax;
+    r.onSlpMin = a.onSlpMin + b.onSlpMin;
+    r.offSlpMin = a.offSlpMin + b.offSlpMin;
+    r.inhSlpMin = a.inhSlpMin + b.inhSlpMin;
+    r.fixMax = a.fixMax + b.fixMax;
+    r.fixMin = a.fixMin + b.fixMin;
+    r.insMax = a.insMax + b.insMax;
+    r.insMin = a.insMin + b.insMin;
+    r.netOnMin = a.netOnMin + b.netOnMin;
+    r.netOffMin = a.netOffMin + b.netOffMin;
+    return r;
+}
+
+/** Alternative paths: worst of the maxima, best of the minima. */
+PathCost
+mergeCost(const PathCost &a, const PathCost &b)
+{
+    PathCost r;
+    r.onCycMax = std::max(a.onCycMax, b.onCycMax);
+    r.offCycMax = std::max(a.offCycMax, b.offCycMax);
+    r.inhCycMax = std::max(a.inhCycMax, b.inhCycMax);
+    r.onCycMin = std::min(a.onCycMin, b.onCycMin);
+    r.offCycMin = std::min(a.offCycMin, b.offCycMin);
+    r.inhCycMin = std::min(a.inhCycMin, b.inhCycMin);
+    r.onSlpMax = std::max(a.onSlpMax, b.onSlpMax);
+    r.offSlpMax = std::max(a.offSlpMax, b.offSlpMax);
+    r.inhSlpMax = std::max(a.inhSlpMax, b.inhSlpMax);
+    r.onSlpMin = std::min(a.onSlpMin, b.onSlpMin);
+    r.offSlpMin = std::min(a.offSlpMin, b.offSlpMin);
+    r.inhSlpMin = std::min(a.inhSlpMin, b.inhSlpMin);
+    r.fixMax = std::max(a.fixMax, b.fixMax);
+    r.fixMin = std::min(a.fixMin, b.fixMin);
+    r.insMax = std::max(a.insMax, b.insMax);
+    r.insMin = std::min(a.insMin, b.insMin);
+    r.netOnMin = std::min(a.netOnMin, b.netOnMin);
+    r.netOffMin = std::min(a.netOffMin, b.netOffMin);
+    return r;
+}
+
+/** Scale an iteration cost by a trip-count interval [lo, hi].
+ *  hiBounded=false means the maxima are meaningless (the caller
+ *  raises the unbounded flag); the minima still scale by lo, and
+ *  the net minimum degrades to "no claim" (-inf) if an iteration
+ *  can recharge. */
+PathCost
+scaleCost(const PathCost &it, double lo, double hi, bool hi_bounded)
+{
+    PathCost r;
+    double h = hi_bounded ? hi : 0.0;
+    r.onCycMax = it.onCycMax * h;
+    r.offCycMax = it.offCycMax * h;
+    r.inhCycMax = it.inhCycMax * h;
+    r.onSlpMax = it.onSlpMax * h;
+    r.offSlpMax = it.offSlpMax * h;
+    r.inhSlpMax = it.inhSlpMax * h;
+    r.fixMax = it.fixMax * h;
+    r.insMax = it.insMax * h;
+    r.onCycMin = it.onCycMin * lo;
+    r.offCycMin = it.offCycMin * lo;
+    r.inhCycMin = it.inhCycMin * lo;
+    r.onSlpMin = it.onSlpMin * lo;
+    r.offSlpMin = it.offSlpMin * lo;
+    r.inhSlpMin = it.inhSlpMin * lo;
+    r.fixMin = it.fixMin * lo;
+    r.insMin = it.insMin * lo;
+    auto net = [&](double n) {
+        if (n >= 0)
+            return n * lo;
+        return hi_bounded ? n * hi : -kInf;
+    };
+    r.netOnMin = net(it.netOnMin);
+    r.netOffMin = net(it.netOffMin);
+    return r;
+}
+
+struct Flags
+{
+    bool unbounded = false;
+    bool io = false;
+    bool productive = false;
+    bool barren = false;
+    bool hasHalt = false;
+    bool writesChkptCtl = false;
+    bool unknown = false;
+    std::string why;
+    /** Worst charge of one bounded iteration of an unbounded loop. */
+    double iterChargeMax = 0;
+
+    void
+    merge(const Flags &o)
+    {
+        unbounded |= o.unbounded;
+        io |= o.io;
+        productive |= o.productive;
+        barren |= o.barren;
+        hasHalt |= o.hasHalt;
+        writesChkptCtl |= o.writesChkptCtl;
+        if (o.unknown && !unknown)
+            why = o.why;
+        unknown |= o.unknown;
+        iterChargeMax = std::max(iterChargeMax, o.iterChargeMax);
+    }
+    void
+    setUnknown(const std::string &reason)
+    {
+        if (!unknown)
+            why = reason;
+        unknown = true;
+    }
+};
+
+struct DPVal
+{
+    PathCost c;
+    Flags fl;
+};
+
+struct NodeW
+{
+    PathCost c;
+    Flags fl;
+    bool statusLoad = false;
+    bool nvStore = false;
+    bool terminal = false;
+    bool persist = false; ///< HALT or (region view) CHKPT.
+};
+
+/** Context-independent summary of one callee. */
+struct FuncSum
+{
+    PathCost c;
+    Flags fl;
+    std::uint16_t clobbers = 0xFFFF; ///< Registers possibly written.
+    bool statusLoad = false;
+    bool nvStore = false;
+    bool mayClobberLed = false;
+};
+
+/** One analyzed view: a checkpoint region, a function body, or the
+ *  whole-program totals graph. */
+struct Ctx
+{
+    std::map<std::uint32_t, isa::Instr> code;
+    std::set<std::uint32_t> bad; ///< Reachable but undecodable.
+    std::map<std::uint32_t, std::vector<std::uint32_t>> succ;
+    std::map<std::uint32_t, std::vector<std::uint32_t>> pred;
+    std::map<std::uint32_t, AbsState> in;
+    std::map<std::uint32_t, NodeW> w;
+    std::set<std::uint32_t> barren; ///< Barren loop / call nodes.
+};
+
+using Edge = std::pair<std::uint32_t, std::uint32_t>;
+
+// ------------------------------------------------------------------
+
+class Analyzer
+{
+  public:
+    Analyzer(const isa::Program &program, const CostModel &model,
+             const AnalyzerOptions &options)
+        : prog(program), m(model), opt(options)
+    {
+        imax = opt.maxInflowAmps > 0 ? opt.maxInflowAmps : 0.0;
+    }
+
+    Report run();
+
+  private:
+    const isa::Program &prog;
+    const CostModel &m;
+    const AnalyzerOptions &opt;
+    double imax = 0;
+
+    std::map<std::uint32_t, FuncSum> funcs;
+    std::set<std::uint32_t> funcStack;
+    std::set<std::uint32_t> visitedPcs; ///< For the report count.
+
+    enum class View
+    {
+        Region, ///< CHKPT and HALT terminate.
+        Callee, ///< RET terminates; HALT/CHKPT are unmodelled.
+        Totals  ///< Only HALT terminates; CHKPT priced inline.
+    };
+
+    bool isTerminal(const isa::Instr &i, View view) const;
+    void discover(Ctx &ctx, std::uint32_t entry, View view,
+                  const std::map<std::uint32_t, isa::Instr> *universe);
+    void dataflow(Ctx &ctx, std::uint32_t entry, const AbsState &at_entry,
+                  View view);
+    AbsState transfer(std::uint32_t pc, const isa::Instr &i,
+                      AbsState s);
+    void buildWeights(Ctx &ctx, View view);
+    FuncSum &funcSummary(std::uint32_t entry);
+
+    DPVal solve(Ctx &ctx, const std::set<std::uint32_t> &nodes,
+                std::uint32_t entry, const std::set<Edge> &cut,
+                int depth);
+
+    struct Trips
+    {
+        double lo = 1, hi = 0;
+        bool bounded = false;
+    };
+    Trips inferTrips(Ctx &ctx, const std::set<std::uint32_t> &scc,
+                     std::uint32_t header, const std::set<Edge> &cut);
+
+    bool writesReg(const isa::Instr &i, unsigned r) const;
+
+    double chargeMax(const PathCost &c) const;
+    double chargeMin(const PathCost &c) const;
+    double cyclesMax(const PathCost &c) const;
+    double cyclesMin(const PathCost &c) const;
+
+    void addActive(PathCost &c, std::uint8_t led, double cyc);
+    void addSleep(PathCost &c, std::uint8_t led, double cyc);
+    void addFix(PathCost &c, double max_q, double min_q);
+    void addCallee(PathCost &c, const PathCost &f, std::uint8_t led);
+};
+
+bool
+Analyzer::isTerminal(const isa::Instr &i, View view) const
+{
+    switch (i.op) {
+      case isa::Opcode::Halt:
+        return true;
+      case isa::Opcode::Ret:
+      case isa::Opcode::Reti:
+        return true; // Exit in Callee view, unmodelled elsewhere.
+      case isa::Opcode::Callr:
+        return true; // Unknown flow; flagged at weight time.
+      case isa::Opcode::Chkpt:
+        return view == View::Region && m.checkpointing;
+      default:
+        return false;
+    }
+}
+
+void
+Analyzer::discover(Ctx &ctx, std::uint32_t entry, View view,
+                   const std::map<std::uint32_t, isa::Instr> *universe)
+{
+    std::deque<std::uint32_t> work{entry};
+    std::set<std::uint32_t> seen{entry};
+    constexpr std::size_t kMaxNodes = 1u << 17;
+    while (!work.empty()) {
+        std::uint32_t pc = work.front();
+        work.pop_front();
+        if (ctx.code.size() + ctx.bad.size() > kMaxNodes)
+            break;
+        std::optional<isa::Instr> in;
+        if (universe) {
+            auto it = universe->find(pc);
+            if (it != universe->end())
+                in = it->second;
+        } else if (auto word = fetch32(prog, pc)) {
+            in = isa::decode(*word);
+        }
+        if (!in) {
+            ctx.bad.insert(pc);
+            continue;
+        }
+        ctx.code[pc] = *in;
+        visitedPcs.insert(pc);
+        if (isTerminal(*in, view))
+            continue;
+        std::vector<std::uint32_t> next;
+        switch (in->op) {
+          case isa::Opcode::Br:
+            next.push_back(brTarget(pc, *in));
+            break;
+          case isa::Opcode::Beq:
+          case isa::Opcode::Bne:
+          case isa::Opcode::Blt:
+          case isa::Opcode::Bge:
+          case isa::Opcode::Bltu:
+          case isa::Opcode::Bgeu:
+            next.push_back(brTarget(pc, *in));
+            next.push_back(pc + 4);
+            break;
+          default:
+            next.push_back(pc + 4);
+            break;
+        }
+        for (std::uint32_t s : next) {
+            ctx.succ[pc].push_back(s);
+            ctx.pred[s].push_back(pc);
+            if (seen.insert(s).second)
+                work.push_back(s);
+        }
+    }
+}
+
+bool
+Analyzer::writesReg(const isa::Instr &i, unsigned r) const
+{
+    switch (i.op) {
+      case isa::Opcode::Li:
+      case isa::Opcode::Lui:
+      case isa::Opcode::Mov:
+      case isa::Opcode::Add:
+      case isa::Opcode::Sub:
+      case isa::Opcode::Mul:
+      case isa::Opcode::Divu:
+      case isa::Opcode::Remu:
+      case isa::Opcode::And:
+      case isa::Opcode::Or:
+      case isa::Opcode::Xor:
+      case isa::Opcode::Shl:
+      case isa::Opcode::Shr:
+      case isa::Opcode::Sar:
+      case isa::Opcode::Addi:
+      case isa::Opcode::Andi:
+      case isa::Opcode::Ori:
+      case isa::Opcode::Xori:
+      case isa::Opcode::Shli:
+      case isa::Opcode::Shri:
+      case isa::Opcode::Ldw:
+      case isa::Opcode::Ldb:
+      case isa::Opcode::Pop:
+        return i.rd == r;
+      default:
+        return false;
+    }
+}
+
+AbsState
+Analyzer::transfer(std::uint32_t pc, const isa::Instr &i, AbsState s)
+{
+    auto bin = [&](std::uint32_t a, std::uint32_t b) -> std::uint32_t {
+        switch (i.op) {
+          case isa::Opcode::Add: return a + b;
+          case isa::Opcode::Sub: return a - b;
+          case isa::Opcode::Mul: return a * b;
+          case isa::Opcode::Divu: return b == 0 ? 0xFFFFFFFFu : a / b;
+          case isa::Opcode::Remu: return b == 0 ? a : a % b;
+          case isa::Opcode::And: return a & b;
+          case isa::Opcode::Or: return a | b;
+          case isa::Opcode::Xor: return a ^ b;
+          case isa::Opcode::Shl: return a << (b & 31u);
+          case isa::Opcode::Shr: return a >> (b & 31u);
+          case isa::Opcode::Sar:
+            return static_cast<std::uint32_t>(
+                static_cast<std::int32_t>(a) >>
+                static_cast<std::int32_t>(b & 31u));
+          default: return 0;
+        }
+    };
+    std::uint32_t uimm = static_cast<std::uint32_t>(i.imm);
+    std::uint32_t zimm = uimm & 0xFFFFu;
+    switch (i.op) {
+      case isa::Opcode::Li:
+        s.set(i.rd, uimm);
+        break;
+      case isa::Opcode::Lui:
+        s.set(i.rd, zimm << 16);
+        break;
+      case isa::Opcode::Mov:
+        if (s.knows(i.rs))
+            s.set(i.rd, s.v[i.rs]);
+        else
+            s.kill(i.rd);
+        break;
+      case isa::Opcode::Add:
+      case isa::Opcode::Sub:
+      case isa::Opcode::Mul:
+      case isa::Opcode::Divu:
+      case isa::Opcode::Remu:
+      case isa::Opcode::And:
+      case isa::Opcode::Or:
+      case isa::Opcode::Xor:
+      case isa::Opcode::Shl:
+      case isa::Opcode::Shr:
+      case isa::Opcode::Sar:
+        if (s.knows(i.rs) && s.knows(i.rt))
+            s.set(i.rd, bin(s.v[i.rs], s.v[i.rt]));
+        else
+            s.kill(i.rd);
+        break;
+      case isa::Opcode::Addi:
+        if (s.knows(i.rs))
+            s.set(i.rd, s.v[i.rs] + uimm);
+        else
+            s.kill(i.rd);
+        break;
+      case isa::Opcode::Andi:
+        if (s.knows(i.rs))
+            s.set(i.rd, s.v[i.rs] & zimm);
+        else
+            s.kill(i.rd);
+        break;
+      case isa::Opcode::Ori:
+        if (s.knows(i.rs))
+            s.set(i.rd, s.v[i.rs] | zimm);
+        else
+            s.kill(i.rd);
+        break;
+      case isa::Opcode::Xori:
+        if (s.knows(i.rs))
+            s.set(i.rd, s.v[i.rs] ^ zimm);
+        else
+            s.kill(i.rd);
+        break;
+      case isa::Opcode::Shli:
+        if (s.knows(i.rs))
+            s.set(i.rd, s.v[i.rs] << (zimm & 31u));
+        else
+            s.kill(i.rd);
+        break;
+      case isa::Opcode::Shri:
+        if (s.knows(i.rs))
+            s.set(i.rd, s.v[i.rs] >> (zimm & 31u));
+        else
+            s.kill(i.rd);
+        break;
+      case isa::Opcode::Ldw:
+      case isa::Opcode::Ldb:
+        s.kill(i.rd);
+        break;
+      case isa::Opcode::Stw:
+      case isa::Opcode::Stb: {
+        Ea ea = resolveEa(s, i);
+        if (ea.known && ea.addr == mmio::led) {
+            if (s.knows(i.rd))
+                s.led = (s.v[i.rd] & 1u) ? ledOn : ledOff;
+            else
+                s.led = ledUnk;
+        } else if (!ea.known && !ea.stackish) {
+            // An unresolved store may hit the LED register.
+            s.led = ledUnk;
+        }
+        break;
+      }
+      case isa::Opcode::Push:
+        if (s.knows(isa::regSp))
+            s.set(isa::regSp, s.v[isa::regSp] - 4);
+        break;
+      case isa::Opcode::Pop:
+        s.kill(i.rd);
+        if (s.knows(isa::regSp))
+            s.set(isa::regSp, s.v[isa::regSp] + 4);
+        break;
+      case isa::Opcode::Call: {
+        FuncSum &f = funcSummary(brTarget(pc, i));
+        for (unsigned r = 0; r < isa::numRegs; ++r)
+            if (r != isa::regSp && ((f.clobbers >> r) & 1u))
+                s.kill(r);
+        // Balanced-stack calling convention: sp is preserved.
+        if (f.mayClobberLed)
+            s.led = ledUnk;
+        break;
+      }
+      case isa::Opcode::Callr:
+        s.known = 0;
+        s.led = ledUnk;
+        break;
+      default:
+        break;
+    }
+    return s;
+}
+
+void
+Analyzer::dataflow(Ctx &ctx, std::uint32_t entry,
+                   const AbsState &at_entry, View view)
+{
+    ctx.in[entry] = at_entry;
+    ctx.in[entry].live = true;
+    std::deque<std::uint32_t> work{entry};
+    std::set<std::uint32_t> queued{entry};
+    while (!work.empty()) {
+        std::uint32_t pc = work.front();
+        work.pop_front();
+        queued.erase(pc);
+        auto it = ctx.code.find(pc);
+        if (it == ctx.code.end())
+            continue;
+        if (isTerminal(it->second, view))
+            continue;
+        AbsState out = transfer(pc, it->second, ctx.in[pc]);
+        auto si = ctx.succ.find(pc);
+        if (si == ctx.succ.end())
+            continue;
+        for (std::uint32_t s : si->second) {
+            if (meetInto(ctx.in[s], out) && queued.insert(s).second)
+                work.push_back(s);
+        }
+    }
+}
+
+void
+Analyzer::addActive(PathCost &c, std::uint8_t led, double cyc)
+{
+    // Max side: an uncertain LED may be on.
+    if (led == ledOn || led == ledUnk)
+        c.onCycMax += cyc;
+    else if (led == ledInherit)
+        c.inhCycMax += cyc;
+    else
+        c.offCycMax += cyc;
+    // Min side: only a definitely-on LED adds current.
+    if (led == ledOn)
+        c.onCycMin += cyc;
+    else if (led == ledInherit)
+        c.inhCycMin += cyc;
+    else
+        c.offCycMin += cyc;
+    double t = cyc * m.cyclePeriod;
+    double on = t * (m.activeAmps + m.ledAmps - imax);
+    double off = t * (m.activeAmps - imax);
+    if (led == ledOn) {
+        c.netOnMin += on;
+        c.netOffMin += on;
+    } else if (led == ledInherit) {
+        c.netOnMin += on;
+        c.netOffMin += off;
+    } else {
+        c.netOnMin += off;
+        c.netOffMin += off;
+    }
+}
+
+void
+Analyzer::addSleep(PathCost &c, std::uint8_t led, double cyc)
+{
+    if (led == ledOn || led == ledUnk)
+        c.onSlpMax += cyc;
+    else if (led == ledInherit)
+        c.inhSlpMax += cyc;
+    else
+        c.offSlpMax += cyc;
+    if (led == ledOn)
+        c.onSlpMin += cyc;
+    else if (led == ledInherit)
+        c.inhSlpMin += cyc;
+    else
+        c.offSlpMin += cyc;
+    double t = cyc * m.cyclePeriod;
+    double on = t * (m.sleepAmps + m.ledAmps - imax);
+    double off = t * (m.sleepAmps - imax);
+    if (led == ledOn) {
+        c.netOnMin += on;
+        c.netOffMin += on;
+    } else if (led == ledInherit) {
+        c.netOnMin += on;
+        c.netOffMin += off;
+    } else {
+        c.netOnMin += off;
+        c.netOffMin += off;
+    }
+}
+
+void
+Analyzer::addFix(PathCost &c, double max_q, double min_q)
+{
+    c.fixMax += max_q;
+    c.fixMin += min_q;
+    c.netOnMin += min_q;
+    c.netOffMin += min_q;
+}
+
+void
+Analyzer::addCallee(PathCost &c, const PathCost &f, std::uint8_t led)
+{
+    c.onCycMax += f.onCycMax;
+    c.offCycMax += f.offCycMax;
+    c.onCycMin += f.onCycMin;
+    c.offCycMin += f.offCycMin;
+    c.onSlpMax += f.onSlpMax;
+    c.offSlpMax += f.offSlpMax;
+    c.onSlpMin += f.onSlpMin;
+    c.offSlpMin += f.offSlpMin;
+    c.fixMax += f.fixMax;
+    c.fixMin += f.fixMin;
+    c.insMax += f.insMax;
+    c.insMin += f.insMin;
+    switch (led) {
+      case ledOn:
+        c.onCycMax += f.inhCycMax;
+        c.onCycMin += f.inhCycMin;
+        c.onSlpMax += f.inhSlpMax;
+        c.onSlpMin += f.inhSlpMin;
+        c.netOnMin += f.netOnMin;
+        c.netOffMin += f.netOnMin;
+        break;
+      case ledOff:
+        c.offCycMax += f.inhCycMax;
+        c.offCycMin += f.inhCycMin;
+        c.offSlpMax += f.inhSlpMax;
+        c.offSlpMin += f.inhSlpMin;
+        c.netOnMin += f.netOffMin;
+        c.netOffMin += f.netOffMin;
+        break;
+      case ledUnk:
+        // May-on for the maxima, must-off for the minima.
+        c.onCycMax += f.inhCycMax;
+        c.offCycMin += f.inhCycMin;
+        c.onSlpMax += f.inhSlpMax;
+        c.offSlpMin += f.inhSlpMin;
+        c.netOnMin += f.netOffMin;
+        c.netOffMin += f.netOffMin;
+        break;
+      default: // ledInherit: nested call inside a callee.
+        c.inhCycMax += f.inhCycMax;
+        c.inhCycMin += f.inhCycMin;
+        c.inhSlpMax += f.inhSlpMax;
+        c.inhSlpMin += f.inhSlpMin;
+        c.netOnMin += f.netOnMin;
+        c.netOffMin += f.netOffMin;
+        break;
+    }
+}
+
+double
+Analyzer::chargeMax(const PathCost &c) const
+{
+    double cp = m.cyclePeriod;
+    return (c.onCycMax + c.inhCycMax) * cp *
+               (m.activeAmps + m.ledAmps) +
+           c.offCycMax * cp * m.activeAmps +
+           (c.onSlpMax + c.inhSlpMax) * cp *
+               (m.sleepAmps + m.ledAmps) +
+           c.offSlpMax * cp * m.sleepAmps + c.fixMax;
+}
+
+double
+Analyzer::chargeMin(const PathCost &c) const
+{
+    double cp = m.cyclePeriod;
+    return c.onCycMin * cp * (m.activeAmps + m.ledAmps) +
+           (c.offCycMin + c.inhCycMin) * cp * m.activeAmps +
+           c.onSlpMin * cp * (m.sleepAmps + m.ledAmps) +
+           (c.offSlpMin + c.inhSlpMin) * cp * m.sleepAmps + c.fixMin;
+}
+
+double
+Analyzer::cyclesMax(const PathCost &c) const
+{
+    return c.onCycMax + c.offCycMax + c.inhCycMax + c.onSlpMax +
+           c.offSlpMax + c.inhSlpMax;
+}
+
+double
+Analyzer::cyclesMin(const PathCost &c) const
+{
+    return c.onCycMin + c.offCycMin + c.inhCycMin + c.onSlpMin +
+           c.offSlpMin + c.inhSlpMin;
+}
+
+void
+Analyzer::buildWeights(Ctx &ctx, View view)
+{
+    char buf[16];
+    for (auto &[pc, in] : ctx.code) {
+        NodeW nw;
+        const AbsState &st = ctx.in[pc];
+        std::uint8_t led = st.live ? st.led
+                                   : (view == View::Callee
+                                          ? static_cast<std::uint8_t>(
+                                                ledInherit)
+                                          : static_cast<std::uint8_t>(
+                                                ledUnk));
+        const CostModel::Quote &q =
+            m.quotes[static_cast<std::uint8_t>(in.op)];
+        double cyc = q.cycles;
+        nw.c.insMax = 1;
+        nw.c.insMin = 1;
+        nw.terminal = isTerminal(in, view);
+
+        switch (in.op) {
+          case isa::Opcode::Halt:
+            nw.persist = true;
+            if (view == View::Callee)
+                nw.fl.setUnknown(std::string("halt inside callee at ") +
+                                 hex(pc, buf));
+            else
+                nw.fl.hasHalt = true;
+            addActive(nw.c, led, cyc);
+            break;
+          case isa::Opcode::Ret:
+          case isa::Opcode::Reti:
+            if (view != View::Callee)
+                nw.fl.setUnknown(std::string("return outside a call "
+                                             "context at ") +
+                                 hex(pc, buf));
+            addActive(nw.c, led, cyc);
+            break;
+          case isa::Opcode::Callr:
+            nw.fl.setUnknown(std::string("indirect call at ") +
+                             hex(pc, buf));
+            addActive(nw.c, led, cyc);
+            break;
+          case isa::Opcode::Chkpt: {
+            if (m.checkpointing) {
+                if (view == View::Callee) {
+                    nw.fl.setUnknown(
+                        std::string("checkpoint inside callee at ") +
+                        hex(pc, buf));
+                    addActive(nw.c, led, cyc);
+                    break;
+                }
+                nw.persist = view == View::Region;
+                double max_bytes, min_bytes;
+                if (st.live && st.knows(isa::regSp) &&
+                    st.v[isa::regSp] <= m.stackTop) {
+                    max_bytes = min_bytes =
+                        m.stackTop - st.v[isa::regSp];
+                } else {
+                    double cap =
+                        m.chkptSlotBytes >
+                                (m.chkptBaseWords + 1) * 4.0
+                            ? m.chkptSlotBytes -
+                                  (m.chkptBaseWords + 1) * 4.0
+                            : 1024.0;
+                    max_bytes = std::min(
+                        cap, static_cast<double>(m.sramSize));
+                    min_bytes = 0;
+                }
+                addActive(nw.c, led,
+                          m.chkptCycles(static_cast<std::uint32_t>(
+                              max_bytes)));
+                addFix(nw.c,
+                       m.chkptWords(static_cast<std::uint32_t>(
+                           max_bytes)) *
+                           m.nvWriteCharge,
+                       m.chkptWords(static_cast<std::uint32_t>(
+                           min_bytes)) *
+                           m.nvWriteCharge);
+            } else {
+                addActive(nw.c, led, cyc);
+            }
+            break;
+          }
+          case isa::Opcode::Ldw:
+          case isa::Opcode::Ldb: {
+            Ea ea = resolveEa(st.live ? st : AbsState{}, in);
+            if (ea.known && isEventRegister(ea.addr))
+                nw.statusLoad = true;
+            addActive(nw.c, led, cyc);
+            break;
+          }
+          case isa::Opcode::Stw:
+          case isa::Opcode::Stb: {
+            Ea ea = resolveEa(st.live ? st : AbsState{}, in);
+            if (ea.known) {
+                if (ea.addr >= m.framBase &&
+                    ea.addr < m.framBase + m.framSize) {
+                    nw.nvStore = true;
+                    addActive(nw.c, led, cyc + q.framExtraCycles);
+                    addFix(nw.c, m.nvWriteCharge, m.nvWriteCharge);
+                } else if (ea.addr >= m.mmioBase &&
+                           ea.addr < m.mmioBase + m.mmioSize) {
+                    bool value_known =
+                        st.live && st.knows(in.rd);
+                    std::uint32_t value =
+                        value_known ? st.v[in.rd] : 0;
+                    if (ea.addr == mmio::sleep) {
+                        if (!value_known) {
+                            nw.fl.setUnknown(
+                                std::string(
+                                    "unresolved sleep duration "
+                                    "at ") +
+                                hex(pc, buf));
+                            addActive(nw.c, led, cyc);
+                        } else {
+                            addActive(nw.c, led, cyc);
+                            addSleep(nw.c, led,
+                                     static_cast<double>(value));
+                        }
+                    } else if (ea.addr == mmio::chkptCtl) {
+                        nw.fl.writesChkptCtl = true;
+                        nw.fl.setUnknown(
+                            std::string("runtime checkpoint "
+                                        "control at ") +
+                            hex(pc, buf));
+                        addActive(nw.c, led, cyc);
+                    } else if (ea.addr == mmio::uart0Tx) {
+                        addActive(nw.c, led, cyc);
+                        // A frame only transmits when not busy;
+                        // the min path drops it.
+                        addFix(nw.c, m.uartFrameCharge(), 0);
+                    } else if (ea.addr == mmio::dbgUartTx) {
+                        addActive(nw.c, led, cyc);
+                        addFix(nw.c, m.dbgUartFrameCharge(), 0);
+                    } else {
+                        addActive(nw.c, led, cyc);
+                    }
+                } else if (ea.addr >= m.sramBase &&
+                           ea.addr < m.sramBase + m.sramSize) {
+                    addActive(nw.c, led, cyc);
+                } else {
+                    nw.fl.setUnknown(
+                        std::string("store to unmapped address "
+                                    "at ") +
+                        hex(pc, buf));
+                    addActive(nw.c, led, cyc);
+                }
+            } else if (ea.stackish) {
+                addActive(nw.c, led, cyc);
+            } else {
+                // Unknown target: may be NV (wait states + write
+                // charge) and may start a UART frame. Counts as
+                // forward progress for loop classification.
+                nw.nvStore = true;
+                addActive(nw.c, led, cyc + q.framExtraCycles);
+                addFix(nw.c,
+                       m.nvWriteCharge +
+                           std::max(m.uartFrameCharge(),
+                                    m.dbgUartFrameCharge()),
+                       0);
+            }
+            break;
+          }
+          case isa::Opcode::Call: {
+            addActive(nw.c, led, cyc);
+            FuncSum &f = funcSummary(brTarget(pc, in));
+            addCallee(nw.c, f.c, led);
+            nw.fl.merge(f.fl);
+            nw.statusLoad |= f.statusLoad;
+            nw.nvStore |= f.nvStore;
+            if (f.fl.barren && f.fl.unbounded)
+                ctx.barren.insert(pc);
+            break;
+          }
+          default:
+            addActive(nw.c, led, cyc);
+            break;
+        }
+        ctx.w[pc] = nw;
+    }
+    for (std::uint32_t pc : ctx.bad) {
+        NodeW nw;
+        nw.terminal = true;
+        char b2[16];
+        nw.fl.setUnknown(std::string("undecodable instruction at ") +
+                         hex(pc, b2));
+        ctx.w[pc] = nw;
+    }
+}
+
+FuncSum &
+Analyzer::funcSummary(std::uint32_t entry)
+{
+    auto it = funcs.find(entry);
+    if (it != funcs.end())
+        return it->second;
+    if (funcStack.count(entry)) {
+        // Recursion: conservative summary, flagged unknown.
+        FuncSum &f = funcs[entry];
+        char buf[16];
+        f.fl.setUnknown(std::string("recursive call at ") +
+                        hex(entry, buf));
+        f.mayClobberLed = true;
+        return f;
+    }
+    funcStack.insert(entry);
+    Ctx ctx;
+    discover(ctx, entry, View::Callee, nullptr);
+    AbsState at_entry;
+    at_entry.live = true;
+    at_entry.led = ledInherit;
+    dataflow(ctx, entry, at_entry, View::Callee);
+    buildWeights(ctx, View::Callee);
+
+    FuncSum sum;
+    sum.clobbers = 0;
+    for (auto &[pc, in] : ctx.code) {
+        for (unsigned r = 0; r < isa::numRegs; ++r)
+            if (r != isa::regSp && writesReg(in, r))
+                sum.clobbers |= 1u << r;
+        if (in.op == isa::Opcode::Call) {
+            FuncSum &f = funcSummary(brTarget(pc, in));
+            sum.clobbers |= f.clobbers;
+            sum.mayClobberLed |= f.mayClobberLed;
+        }
+        if ((in.op == isa::Opcode::Stw ||
+             in.op == isa::Opcode::Stb)) {
+            Ea ea = resolveEa(ctx.in[pc].live ? ctx.in[pc]
+                                              : AbsState{},
+                              in);
+            if (ea.known && ea.addr == mmio::led)
+                sum.mayClobberLed = true;
+            else if (!ea.known && !ea.stackish)
+                sum.mayClobberLed = true;
+        }
+        if (in.op == isa::Opcode::Callr) {
+            sum.clobbers = 0xFFFF;
+            sum.mayClobberLed = true;
+        }
+    }
+    for (auto &[pc, nw] : ctx.w) {
+        sum.statusLoad |= nw.statusLoad;
+        sum.nvStore |= nw.nvStore;
+    }
+    if (!ctx.bad.empty())
+        sum.clobbers = 0xFFFF;
+
+    std::set<std::uint32_t> nodes;
+    for (auto &[pc, nw] : ctx.w)
+        nodes.insert(pc);
+    DPVal v = solve(ctx, nodes, entry, {}, 0);
+    sum.c = v.c;
+    sum.fl = v.fl;
+    funcStack.erase(entry);
+    FuncSum &slot = funcs[entry];
+    slot = sum;
+    return slot;
+}
+
+Analyzer::Trips
+Analyzer::inferTrips(Ctx &ctx, const std::set<std::uint32_t> &scc,
+                     std::uint32_t header, const std::set<Edge> &cut)
+{
+    Trips unknown;
+    std::vector<std::uint32_t> back;
+    for (std::uint32_t n : scc) {
+        auto si = ctx.succ.find(n);
+        if (si == ctx.succ.end())
+            continue;
+        for (std::uint32_t s : si->second)
+            if (s == header && !cut.count({n, s}))
+                back.push_back(n);
+    }
+    if (back.size() != 1)
+        return unknown;
+    std::uint32_t u = back[0];
+    auto at = [&](std::uint32_t pc) -> const isa::Instr * {
+        auto it = ctx.code.find(pc);
+        return it == ctx.code.end() ? nullptr : &it->second;
+    };
+    const isa::Instr *bi = at(u);
+    if (!bi || bi->op != isa::Opcode::Bne || brTarget(u, *bi) != header)
+        return unknown;
+    const isa::Instr *cmp = at(u - 4);
+    if (!cmp || cmp->op != isa::Opcode::Cmpi || cmp->imm != 0 ||
+        !scc.count(u - 4))
+        return unknown;
+    unsigned rc = cmp->rs;
+    if (rc == isa::regSp)
+        return unknown;
+
+    // Reject if anything else in the loop can write the counter.
+    auto counterClobbered = [&](std::uint32_t skip_pc) {
+        for (std::uint32_t n : scc) {
+            if (n == skip_pc)
+                continue;
+            const isa::Instr *in = at(n);
+            if (!in)
+                return true;
+            if (writesReg(*in, rc))
+                return true;
+            if (in->op == isa::Opcode::Call) {
+                FuncSum &f = funcSummary(brTarget(n, *in));
+                if ((f.clobbers >> rc) & 1u)
+                    return true;
+            }
+            if (in->op == isa::Opcode::Callr)
+                return true;
+        }
+        return false;
+    };
+
+    // Idiom 1, count-down: addi rc, rc, -1 / cmpi rc, 0 / bne hdr
+    // with a dominating li rc, N immediately above the header.
+    const isa::Instr *dec = at(u - 8);
+    if (dec && dec->op == isa::Opcode::Addi && dec->rd == rc &&
+        dec->rs == rc && dec->imm == -1 && scc.count(u - 8) &&
+        !counterClobbered(u - 8)) {
+        // Walk up from the header through its unique straight-line
+        // predecessor chain looking for the initializer.
+        auto preds = [&](std::uint32_t n) {
+            auto it = ctx.pred.find(n);
+            return it == ctx.pred.end() ? std::vector<std::uint32_t>{}
+                                        : it->second;
+        };
+        {
+            auto hp = preds(header);
+            std::set<std::uint32_t> hs(hp.begin(), hp.end());
+            std::set<std::uint32_t> want(back.begin(), back.end());
+            want.insert(header - 4);
+            if (hs != want)
+                return unknown;
+        }
+        std::uint32_t p = header - 4;
+        for (int steps = 0; steps < 16; ++steps) {
+            const isa::Instr *in = at(p);
+            if (!in || scc.count(p))
+                return unknown;
+            if (in->op == isa::Opcode::Li && in->rd == rc) {
+                std::int32_t n = in->imm;
+                if (n < 1)
+                    return unknown;
+                Trips t;
+                t.lo = t.hi = static_cast<double>(n);
+                t.bounded = true;
+                return t;
+            }
+            if (writesReg(*in, rc) || in->op == isa::Opcode::Call ||
+                in->op == isa::Opcode::Callr ||
+                in->op == isa::Opcode::Br || isCondBranch(in->op) ||
+                isTerminal(*in, View::Region))
+                return unknown;
+            auto pp = preds(p);
+            if (pp.size() != 1 || pp[0] != p - 4)
+                return unknown;
+            p -= 4;
+        }
+        return unknown;
+    }
+
+    // Idiom 2, divide-down: a single divu rc, rc, rk with known
+    // divisor >= 2 bounds the trip count by 32 halvings (+1 for
+    // the final zero test).
+    std::uint32_t div_pc = 0;
+    unsigned found = 0;
+    for (std::uint32_t n : scc) {
+        const isa::Instr *in = at(n);
+        if (in && in->op == isa::Opcode::Divu && in->rd == rc &&
+            in->rs == rc) {
+            div_pc = n;
+            ++found;
+        }
+    }
+    if (found == 1 && !counterClobbered(div_pc)) {
+        const isa::Instr *dv = at(div_pc);
+        const AbsState &st = ctx.in[div_pc];
+        if (st.live && st.knows(dv->rt) && st.v[dv->rt] >= 2) {
+            Trips t;
+            t.lo = 1;
+            t.hi = 33;
+            t.bounded = true;
+            return t;
+        }
+    }
+    return unknown;
+}
+
+DPVal
+Analyzer::solve(Ctx &ctx, const std::set<std::uint32_t> &nodes,
+                std::uint32_t entry, const std::set<Edge> &cut,
+                int depth)
+{
+    char buf[16];
+    DPVal fallback;
+    if (depth > 64 || !nodes.count(entry)) {
+        fallback.fl.setUnknown("analysis depth exceeded");
+        return fallback;
+    }
+
+    auto succsOf = [&](std::uint32_t n) {
+        std::vector<std::uint32_t> out;
+        auto wi = ctx.w.find(n);
+        if (wi != ctx.w.end() && wi->second.terminal)
+            return out;
+        auto it = ctx.succ.find(n);
+        if (it == ctx.succ.end())
+            return out;
+        for (std::uint32_t s : it->second)
+            if (nodes.count(s) && !cut.count({n, s}))
+                out.push_back(s);
+        return out;
+    };
+
+    // Iterative Tarjan; SCCs are emitted in reverse topological
+    // order (all successors of an SCC are emitted before it).
+    std::map<std::uint32_t, int> index, low;
+    std::map<std::uint32_t, bool> onStack;
+    std::vector<std::uint32_t> stack;
+    std::vector<std::vector<std::uint32_t>> sccs;
+    int next_index = 0;
+    struct Frame
+    {
+        std::uint32_t node;
+        std::vector<std::uint32_t> succs;
+        std::size_t child = 0;
+    };
+    for (std::uint32_t root : nodes) {
+        if (index.count(root))
+            continue;
+        std::vector<Frame> call;
+        call.push_back({root, succsOf(root), 0});
+        index[root] = low[root] = next_index++;
+        stack.push_back(root);
+        onStack[root] = true;
+        while (!call.empty()) {
+            Frame &f = call.back();
+            if (f.child < f.succs.size()) {
+                std::uint32_t s = f.succs[f.child++];
+                if (!index.count(s)) {
+                    call.push_back({s, succsOf(s), 0});
+                    index[s] = low[s] = next_index++;
+                    stack.push_back(s);
+                    onStack[s] = true;
+                } else if (onStack[s]) {
+                    low[f.node] = std::min(low[f.node], index[s]);
+                }
+            } else {
+                if (low[f.node] == index[f.node]) {
+                    std::vector<std::uint32_t> scc;
+                    while (true) {
+                        std::uint32_t v = stack.back();
+                        stack.pop_back();
+                        onStack[v] = false;
+                        scc.push_back(v);
+                        if (v == f.node)
+                            break;
+                    }
+                    sccs.push_back(std::move(scc));
+                }
+                std::uint32_t done = f.node;
+                call.pop_back();
+                if (!call.empty())
+                    low[call.back().node] =
+                        std::min(low[call.back().node], low[done]);
+            }
+        }
+    }
+
+    std::map<std::uint32_t, DPVal> vals;
+    auto mergeSuccVals = [&](const std::vector<std::uint32_t> &targets,
+                             bool &any) -> DPVal {
+        DPVal mv;
+        any = false;
+        for (std::uint32_t s : targets) {
+            auto it = vals.find(s);
+            if (it == vals.end())
+                continue;
+            if (!any) {
+                mv = it->second;
+                any = true;
+            } else {
+                mv.c = mergeCost(mv.c, it->second.c);
+                mv.fl.merge(it->second.fl);
+            }
+        }
+        return mv;
+    };
+
+    for (const auto &scc : sccs) {
+        std::set<std::uint32_t> members(scc.begin(), scc.end());
+        bool is_loop = scc.size() > 1;
+        if (!is_loop) {
+            auto ss = succsOf(scc[0]);
+            for (std::uint32_t s : ss)
+                if (s == scc[0])
+                    is_loop = true;
+        }
+        if (!is_loop) {
+            std::uint32_t n = scc[0];
+            const NodeW &w = ctx.w[n];
+            DPVal v;
+            v.c = w.c;
+            v.fl = w.fl;
+            auto ss = succsOf(n);
+            if (!ss.empty()) {
+                bool any = false;
+                DPVal mv = mergeSuccVals(ss, any);
+                if (any) {
+                    v.c = addCost(w.c, mv.c);
+                    v.fl.merge(mv.fl);
+                }
+            } else if (!w.terminal) {
+                // Distinguish a genuine dead end (discover recorded
+                // no successors at all — e.g. the node-budget break)
+                // from a sub-CFG leaf whose outgoing edges were all
+                // cut (normal for loop bodies: the back edge into
+                // the header is removed before the body is solved)
+                // or lead outside `nodes` (region exits). The former
+                // is unknown; the latter just ends the path here.
+                auto it = ctx.succ.find(n);
+                if (it == ctx.succ.end() || it->second.empty())
+                    v.fl.setUnknown(std::string("control falls off "
+                                                "analyzed code at ") +
+                                    hex(n, buf));
+            }
+            vals[n] = v;
+            continue;
+        }
+
+        // Loop SCC. Find the unique header.
+        std::set<std::uint32_t> headers;
+        if (members.count(entry))
+            headers.insert(entry);
+        for (std::uint32_t n : nodes) {
+            if (members.count(n))
+                continue;
+            for (std::uint32_t s : succsOf(n))
+                if (members.count(s))
+                    headers.insert(s);
+        }
+        DPVal v;
+        if (headers.size() != 1) {
+            v.fl.setUnknown(std::string("irreducible loop near ") +
+                            hex(scc[0], buf));
+            v.fl.unbounded = true;
+            for (std::uint32_t n : scc)
+                vals[n] = v;
+            continue;
+        }
+        std::uint32_t header = *headers.begin();
+
+        std::set<Edge> inner_cut = cut;
+        for (std::uint32_t n : members) {
+            for (std::uint32_t s : succsOf(n))
+                if (s == header)
+                    inner_cut.insert({n, s});
+        }
+        DPVal iter = solve(ctx, members, header, inner_cut,
+                           depth + 1);
+        bool iter_bounded = !iter.fl.unbounded && !iter.fl.unknown;
+
+        Trips trips = inferTrips(ctx, members, header, cut);
+
+        if (trips.bounded && iter_bounded) {
+            v.c = scaleCost(iter.c, trips.lo, trips.hi, true);
+            v.fl = iter.fl;
+        } else if (trips.bounded) {
+            v.c = scaleCost(iter.c, trips.lo, 0, false);
+            v.fl = iter.fl; // Inner unbounded/unknown propagates.
+        } else {
+            v.c = scaleCost(iter.c, 1, 0, false);
+            v.fl = iter.fl;
+            v.fl.unbounded = true;
+            bool io = false, productive = false;
+            for (std::uint32_t n : members) {
+                const NodeW &w = ctx.w[n];
+                io |= w.statusLoad;
+                productive |= w.nvStore;
+            }
+            if (io)
+                v.fl.io = true;
+            else if (productive)
+                v.fl.productive = true;
+            else {
+                v.fl.barren = true;
+                for (std::uint32_t n : members)
+                    ctx.barren.insert(n);
+            }
+            if (iter_bounded && !io)
+                v.fl.iterChargeMax = std::max(v.fl.iterChargeMax,
+                                              chargeMax(iter.c));
+        }
+
+        // Exits: paths leaving the SCC continue into already-solved
+        // successors.
+        std::vector<std::uint32_t> exits;
+        for (std::uint32_t n : members)
+            for (std::uint32_t s : succsOf(n))
+                if (!members.count(s))
+                    exits.push_back(s);
+        if (!exits.empty()) {
+            bool any = false;
+            DPVal mv = mergeSuccVals(exits, any);
+            if (any) {
+                v.c = addCost(v.c, mv.c);
+                v.fl.merge(mv.fl);
+            }
+        } else if (!v.fl.unbounded) {
+            // A "bounded" loop with no way out cannot actually be
+            // bounded; degrade honestly.
+            v.fl.unbounded = true;
+            v.fl.barren = true;
+            for (std::uint32_t n : members)
+                ctx.barren.insert(n);
+        }
+        for (std::uint32_t n : scc)
+            vals[n] = v;
+    }
+
+    auto it = vals.find(entry);
+    if (it == vals.end()) {
+        fallback.fl.setUnknown("entry not reached by solver");
+        return fallback;
+    }
+    return it->second;
+}
+
+Report
+Analyzer::run()
+{
+    Report rep;
+    rep.checkpointing = m.checkpointing;
+    rep.budget = m.usableBudget();
+    rep.bootCharge = m.bootCharge();
+    if (opt.maxSourceVolts > m.brownOutVolts)
+        rep.maxStorable =
+            m.capacitanceF * (opt.maxSourceVolts - m.brownOutVolts);
+
+    // Main flow, full view (checkpoints priced inline).
+    Ctx main;
+    discover(main, static_cast<std::uint32_t>(prog.entry),
+             View::Totals, nullptr);
+
+    // Region entries: program entry + every post-checkpoint pc.
+    std::vector<std::uint32_t> entries{
+        static_cast<std::uint32_t>(prog.entry)};
+    if (m.checkpointing) {
+        for (auto &[pc, in] : main.code)
+            if (in.op == isa::Opcode::Chkpt)
+                entries.push_back(pc + 4);
+    }
+    std::sort(entries.begin(), entries.end());
+    entries.erase(std::unique(entries.begin(), entries.end()),
+                  entries.end());
+
+    double avail = rep.budget - rep.bootCharge;
+    char buf[16];
+
+    bool any_unbounded_clean = false;
+    for (std::uint32_t e : entries) {
+        if (!main.code.count(e) && !main.bad.count(e))
+            continue;
+        Ctx rc;
+        discover(rc, e, View::Region, &main.code);
+        AbsState at_entry;
+        at_entry.live = true;
+        if (e == static_cast<std::uint32_t>(prog.entry)) {
+            // Reset state: registers cleared, sp at the stack top.
+            for (unsigned r = 0; r < isa::numRegs; ++r)
+                at_entry.set(r, 0);
+            at_entry.set(isa::regSp, m.stackTop);
+        }
+        at_entry.led = ledOff; // The LED load drops on power loss.
+        dataflow(rc, e, at_entry, View::Region);
+        buildWeights(rc, View::Region);
+
+        std::set<std::uint32_t> nodes;
+        for (auto &[pc, nw] : rc.w)
+            nodes.insert(pc);
+        DPVal v = solve(rc, nodes, e, {}, 0);
+
+        RegionInfo info;
+        info.entryPc = e;
+        info.bounded = !v.fl.unbounded && !v.fl.unknown;
+        if (info.bounded) {
+            info.chargeMax = chargeMax(v.c);
+            info.chargeMin = chargeMin(v.c);
+            info.cyclesMax = cyclesMax(v.c);
+            info.cyclesMin = cyclesMin(v.c);
+            info.netDrainMin = v.c.netOffMin;
+            rep.worstRegionCharge =
+                std::max(rep.worstRegionCharge, info.chargeMax);
+        }
+        info.iterChargeMax = v.fl.iterChargeMax;
+        if (v.fl.barren)
+            info.worstLoop = LoopKind::Barren;
+        else if (v.fl.productive)
+            info.worstLoop = LoopKind::Productive;
+        else if (v.fl.io)
+            info.worstLoop = LoopKind::IoBound;
+        rep.haltReachable |= v.fl.hasHalt;
+
+        // Verdict for this region.
+        if (v.fl.unknown) {
+            info.verdict = Verdict::Unknown;
+            if (rep.reason.empty())
+                rep.reason = v.fl.why;
+        } else if (v.fl.barren) {
+            // S1: is every persist point cut off by barren loops?
+            std::set<std::uint32_t> live;
+            std::deque<std::uint32_t> work;
+            if (!rc.barren.count(e)) {
+                work.push_back(e);
+                live.insert(e);
+            }
+            bool persist_ok = false;
+            while (!work.empty()) {
+                std::uint32_t n = work.front();
+                work.pop_front();
+                const NodeW &w = rc.w[n];
+                if (w.persist && !w.fl.unknown) {
+                    persist_ok = true;
+                    break;
+                }
+                if (w.terminal)
+                    continue;
+                auto it = rc.succ.find(n);
+                if (it == rc.succ.end())
+                    continue;
+                for (std::uint32_t s : it->second) {
+                    if (rc.barren.count(s) || !nodes.count(s))
+                        continue;
+                    if (live.insert(s).second)
+                        work.push_back(s);
+                }
+            }
+            info.unavoidableBarren = !persist_ok;
+            info.verdict = persist_ok ? Verdict::MayStarve
+                                      : Verdict::Starves;
+            if (info.verdict == Verdict::Starves &&
+                rep.reason.empty())
+                rep.reason =
+                    std::string("barren loop stands between region ") +
+                    hex(e, buf) + " and every persist point";
+        } else if (v.fl.unbounded) {
+            if (info.iterChargeMax > 0 &&
+                info.iterChargeMax > avail) {
+                info.verdict = Verdict::MayStarve;
+                if (rep.reason.empty())
+                    rep.reason = std::string("one loop iteration in "
+                                             "region ") +
+                                 hex(e, buf) +
+                                 " may exceed the per-boot budget";
+            } else {
+                info.verdict = Verdict::RunsForever;
+                any_unbounded_clean = true;
+            }
+        } else if (info.chargeMax <= avail) {
+            info.verdict = Verdict::Completes;
+        } else {
+            // S2 (must-starve arithmetic): even from a full
+            // capacitor at the source ceiling, with the inflow
+            // ceiling credited for the whole crossing, the region
+            // cannot be crossed.
+            double boot_net =
+                m.bootSeconds * (m.activeAmps - imax);
+            bool must = imax > 0 && rep.maxStorable > 0 &&
+                        info.netDrainMin + boot_net >
+                            rep.maxStorable;
+            info.verdict =
+                must ? Verdict::Starves : Verdict::MayStarve;
+            if (rep.reason.empty())
+                rep.reason =
+                    must ? std::string("region ") + hex(e, buf) +
+                               " demands more charge than the "
+                               "capacitor can ever store"
+                         : std::string("worst-case path in region ") +
+                               hex(e, buf) +
+                               " exceeds the per-boot budget";
+        }
+        rep.regions.push_back(info);
+    }
+
+    // Aggregate: Unknown > Starves > MayStarve > clean.
+    bool has_unknown = false, has_starves = false, has_may = false;
+    for (const auto &r : rep.regions) {
+        has_unknown |= r.verdict == Verdict::Unknown;
+        has_starves |= r.verdict == Verdict::Starves;
+        has_may |= r.verdict == Verdict::MayStarve;
+    }
+    if (has_unknown)
+        rep.verdict = Verdict::Unknown;
+    else if (has_starves)
+        rep.verdict = Verdict::Starves;
+    else if (has_may)
+        rep.verdict = Verdict::MayStarve;
+    else if (any_unbounded_clean || !rep.haltReachable)
+        rep.verdict = Verdict::RunsForever;
+    else
+        rep.verdict = Verdict::Completes;
+    if (rep.reason.empty()) {
+        switch (rep.verdict) {
+          case Verdict::Completes:
+            rep.reason = "all regions fit the per-boot budget and "
+                         "halt is reachable";
+            break;
+          case Verdict::RunsForever:
+            rep.reason = rep.haltReachable
+                             ? "program loops but every boot makes "
+                               "progress"
+                             : "program never halts but every boot "
+                               "makes progress";
+            break;
+          default:
+            break;
+        }
+    }
+
+    // Whole-program totals (persists priced but not cutting paths)
+    // for the boots-to-completion prediction.
+    if (rep.verdict == Verdict::Completes ||
+        rep.verdict == Verdict::MayStarve) {
+        AbsState at_entry;
+        at_entry.live = true;
+        for (unsigned r = 0; r < isa::numRegs; ++r)
+            at_entry.set(r, 0);
+        at_entry.set(isa::regSp, m.stackTop);
+        at_entry.led = ledOff;
+        dataflow(main, static_cast<std::uint32_t>(prog.entry),
+                 at_entry, View::Totals);
+        buildWeights(main, View::Totals);
+        std::set<std::uint32_t> nodes;
+        for (auto &[pc, nw] : main.w)
+            nodes.insert(pc);
+        DPVal tv = solve(main, nodes,
+                         static_cast<std::uint32_t>(prog.entry), {},
+                         0);
+        if (!tv.fl.unbounded && !tv.fl.unknown) {
+            rep.totalBounded = true;
+            rep.totalChargeMax = chargeMax(tv.c);
+            rep.totalChargeMin = chargeMin(tv.c);
+            if (rep.haltReachable && avail > 0) {
+                double demand =
+                    0.5 * (rep.totalChargeMax + rep.totalChargeMin);
+                double per_boot = avail;
+                double ie = opt.expectedInflowAmps;
+                if (ie > 0 && ie < m.activeAmps)
+                    per_boot =
+                        avail * m.activeAmps / (m.activeAmps - ie);
+                if (ie >= m.activeAmps && ie > 0) {
+                    rep.predictedBoots = 1;
+                } else if (m.checkpointing && rep.regions.size() > 1) {
+                    rep.predictedBoots = std::max(
+                        1.0, std::ceil(demand / per_boot));
+                } else {
+                    rep.predictedBoots =
+                        rep.totalChargeMax <= per_boot ? 1 : 0;
+                }
+                double ins_mid =
+                    0.5 * (tv.c.insMax + tv.c.insMin);
+                if (demand > 0)
+                    rep.instrsPerBoot =
+                        per_boot * ins_mid / demand;
+            }
+        }
+    }
+    rep.analyzedInstructions =
+        static_cast<unsigned>(visitedPcs.size());
+    return rep;
+}
+
+} // namespace
+
+const char *
+verdictName(Verdict v)
+{
+    switch (v) {
+      case Verdict::Completes: return "completes";
+      case Verdict::RunsForever: return "runs-forever";
+      case Verdict::MayStarve: return "may-starve";
+      case Verdict::Starves: return "starves";
+      case Verdict::Unknown: return "unknown";
+    }
+    return "?";
+}
+
+Report
+analyze(const isa::Program &program, const CostModel &model,
+        const AnalyzerOptions &options)
+{
+    Analyzer a(program, model, options);
+    return a.run();
+}
+
+} // namespace edb::analysis

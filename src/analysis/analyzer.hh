@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Static energy-timing analyzer for EH32 programs (DESIGN.md §14).
+ *
+ * ETAP-style: from the per-instruction cost table (`CostModel`,
+ * extracted from a live simulated device) the analyzer enumerates
+ * paths over the program's control-flow graph and computes, for
+ * every checkpoint region, the worst-case charge a single boot may
+ * drain before reaching a persist point. A region whose worst-case
+ * demand exceeds the usable capacitor budget can starve: the device
+ * browns out before it can bank progress, reboots, and repeats the
+ * same doomed attempt — the paper's Fig 9 bug, found without
+ * running the program.
+ *
+ * The headline guarantee is **soundness of the upper bound**: for
+ * any execution the simulator can produce, the charge drained
+ * between power-on and the first persist (checkpoint commit or
+ * halt) never exceeds the region bound reported here. The fuzz
+ * oracle `etap` (src/fuzz/oracle.cc) and bench/etap_validate check
+ * exactly this against measured ground truth.
+ */
+
+#ifndef EDB_ANALYSIS_ANALYZER_HH
+#define EDB_ANALYSIS_ANALYZER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cost_model.hh"
+#include "isa/program.hh"
+
+namespace edb::analysis {
+
+/** Completion verdict for a whole program (worst over regions). */
+enum class Verdict : std::uint8_t
+{
+    /** Every path is bounded, fits the per-boot budget, and ends in
+     *  HALT. */
+    Completes,
+    /** Runs indefinitely (event-paced or productive loops) but every
+     *  boot makes progress; never completes because it is not meant
+     *  to. */
+    RunsForever,
+    /** Some worst-case path exceeds the per-boot budget, but a
+     *  cheaper path (or generous harvesting) may still complete. */
+    MayStarve,
+    /** Cannot complete: some unavoidable demand exceeds what any
+     *  boot can supply (Fig 9). */
+    Starves,
+    /** The program uses a construct the analyzer does not model
+     *  (indirect calls, irreducible loops, runtime checkpoint
+     *  control, ...). */
+    Unknown,
+};
+
+const char *verdictName(Verdict v);
+
+/** Classification of an unbounded (statically trip-unknown) loop. */
+enum class LoopKind : std::uint8_t
+{
+    Bounded,    ///< All loops have inferred trip counts.
+    IoBound,    ///< Paced by a peripheral status register.
+    Productive, ///< Writes NV state every iteration.
+    Barren,     ///< Neither: pure spin, the starvation signature.
+    Irreducible ///< Multi-entry cycle; not analyzed.
+};
+
+/** Harvesting-environment bounds for the starvation arguments.
+ *  All zero = unknown environment: the analyzer then only makes
+ *  claims that hold for ANY inflow. */
+struct AnalyzerOptions
+{
+    /** Hard ceiling on harvester inflow current (amps); 0 =
+     *  unknown. Enables the must-starve arithmetic (S2). */
+    double maxInflowAmps = 0.0;
+    /** Typical inflow used for boots-to-completion prediction. */
+    double expectedInflowAmps = 0.0;
+    /** Harvester open-circuit voltage ceiling (volts); 0 = unknown.
+     *  Caps the charge the capacitor can ever store. */
+    double maxSourceVolts = 0.0;
+};
+
+/** Per-checkpoint-region result. */
+struct RegionInfo
+{
+    std::uint32_t entryPc = 0;
+    /** True when every path in the region has bounded cost. */
+    bool bounded = false;
+    /** Worst/best-case charge (coulombs) from region entry to the
+     *  first persist point. Valid when `bounded`. */
+    double chargeMax = 0.0;
+    double chargeMin = 0.0;
+    /** Worst/best-case active+sleep cycles. Valid when `bounded`. */
+    double cyclesMax = 0.0;
+    double cyclesMin = 0.0;
+    /** Inflow-credited lower bound on net drain (coulombs); only
+     *  meaningful when AnalyzerOptions gave a max inflow. */
+    double netDrainMin = 0.0;
+    /** Most severe unbounded-loop kind in the region. */
+    LoopKind worstLoop = LoopKind::Bounded;
+    /** A barren loop stands between entry and every persist. */
+    bool unavoidableBarren = false;
+    /** Worst single-iteration charge among unbounded loops with
+     *  bounded bodies (forward-progress granularity). */
+    double iterChargeMax = 0.0;
+    /** Region verdict before aggregation. */
+    Verdict verdict = Verdict::Unknown;
+};
+
+/** Whole-program analysis result. */
+struct Report
+{
+    Verdict verdict = Verdict::Unknown;
+    /** One-line human-readable justification. */
+    std::string reason;
+
+    std::vector<RegionInfo> regions;
+
+    bool haltReachable = false;
+    bool checkpointing = false;
+
+    /** C * (Von - Voff): charge one boot can drain with no inflow. */
+    double budget = 0.0;
+    /** Charge burned by reset settle before the first instruction. */
+    double bootCharge = 0.0;
+    /** C * (Vmax - Voff) when the source ceiling is known, else 0. */
+    double maxStorable = 0.0;
+
+    /** Max over bounded regions of chargeMax (0 if none). */
+    double worstRegionCharge = 0.0;
+
+    /** Entry-to-halt totals with persists priced but not cutting
+     *  paths; valid when `totalBounded`. */
+    bool totalBounded = false;
+    double totalChargeMax = 0.0;
+    double totalChargeMin = 0.0;
+
+    /** Predicted boots to completion (0 = not predicted: program
+     *  does not complete or totals unbounded). */
+    double predictedBoots = 0.0;
+    /** Rough forward progress: instructions retired per boot. */
+    double instrsPerBoot = 0.0;
+
+    /** Distinct instructions decoded and priced. */
+    unsigned analyzedInstructions = 0;
+};
+
+/** Analyze `program` against `model`. Never simulates: the only
+ *  inputs are program bytes and the extracted cost table. */
+Report analyze(const isa::Program &program, const CostModel &model,
+               const AnalyzerOptions &options = {});
+
+} // namespace edb::analysis
+
+#endif // EDB_ANALYSIS_ANALYZER_HH

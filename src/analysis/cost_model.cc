@@ -1,0 +1,80 @@
+#include "analysis/cost_model.hh"
+
+#include "mcu/mcu.hh"
+#include "sim/time.hh"
+#include "target/wisp.hh"
+
+namespace edb::analysis {
+
+namespace {
+
+double
+seconds(sim::Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(sim::oneSec);
+}
+
+} // namespace
+
+CostModel
+CostModel::fromWisp(const target::Wisp &wisp)
+{
+    const mcu::Mcu &core = wisp.mcu();
+    const mcu::McuConfig &mc = core.config();
+    const target::WispConfig &wc = wisp.config();
+    const energy::PowerSystemConfig &pc = wisp.power().config();
+
+    CostModel m;
+    m.cyclePeriod = 1.0 / mc.clockHz;
+    m.activeAmps = mc.activeAmps;
+    m.haltAmps = mc.haltAmps;
+    m.sleepAmps = mc.sleepAmps;
+    m.ledAmps = wc.ledAmps;
+
+    m.uartFrameSeconds =
+        static_cast<double>(wc.uart.bitsPerByte) / wc.uart.baud;
+    m.uartTxAmps = wc.uart.txActiveAmps;
+    m.dbgUartFrameSeconds =
+        static_cast<double>(wc.debug.uart.bitsPerByte) /
+        wc.debug.uart.baud;
+    m.dbgUartTxAmps = wc.debug.uart.txActiveAmps;
+    m.nvWriteCharge = wc.nvTech.writeChargeCoulombs;
+
+    m.checkpointing = mc.checkpointingEnabled;
+    m.chkptBaseCycles = core.checkpointCostCyclesFor(0);
+    m.chkptCyclesPerWord =
+        core.checkpointCostCyclesFor(4) - m.chkptBaseCycles;
+    m.chkptBaseWords = m.chkptCyclesPerWord > 0
+                           ? m.chkptBaseCycles / m.chkptCyclesPerWord
+                           : 0;
+    m.chkptSlotBytes = mc.checkpointSlotSize;
+
+    m.capacitanceF = pc.capacitanceF;
+    m.turnOnVolts = pc.turnOnVolts;
+    m.brownOutVolts = pc.brownOutVolts;
+    m.bootSeconds = seconds(mc.bootDelay);
+
+    m.sramBase = target::layout::sramBase;
+    m.sramSize = target::layout::sramSize;
+    m.framBase = target::layout::framBase;
+    m.framSize = target::layout::framSize;
+    m.mmioBase = target::layout::mmioBase;
+    m.mmioSize = target::layout::mmioSize;
+    m.stackTop = mc.stackTop;
+
+    for (unsigned b = 0; b < 256; ++b) {
+        std::uint32_t word = static_cast<std::uint32_t>(b) << 24;
+        auto decoded = isa::decode(word);
+        if (!decoded)
+            continue;
+        mcu::Mcu::CostQuote q = core.costQuote(decoded->op);
+        Quote &out = m.quotes[b];
+        out.cycles = q.cycles;
+        out.framExtraCycles = q.framExtraCycles;
+        out.stackDependent = q.stackDependent;
+        out.valid = true;
+    }
+    return m;
+}
+
+} // namespace edb::analysis

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Per-instruction energy/timing cost table for the static analyzer
+ * (DESIGN.md §14), extracted from a *live* simulated device rather
+ * than duplicated constants: `CostModel::fromWisp` interrogates the
+ * Mcu's own cost-quote hooks (`mcu::Mcu::costQuote`,
+ * `checkpointCostCyclesFor`), the power-system configuration, the
+ * UART frame timing and the NV technology table of the given Wisp.
+ * If a future change re-prices an instruction class, the analyzer
+ * re-prices with it — the table cannot drift from the simulator.
+ */
+
+#ifndef EDB_ANALYSIS_COST_MODEL_HH
+#define EDB_ANALYSIS_COST_MODEL_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/isa.hh"
+
+namespace edb::target {
+class Wisp;
+}
+
+namespace edb::analysis {
+
+/** See file header. */
+struct CostModel
+{
+    /** One opcode's static cost (mirrors mcu::Mcu::CostQuote). */
+    struct Quote
+    {
+        /** Base + memory-access cycles. */
+        unsigned cycles = 0;
+        /** Extra wait states IF the effective address is NV. */
+        unsigned framExtraCycles = 0;
+        /** True for CHKPT: cost grows with live stack bytes. */
+        bool stackDependent = false;
+        /** Opcode decodes on this core. */
+        bool valid = false;
+    };
+
+    /// @name Core timing and supply currents
+    /// @{
+    double cyclePeriod = 0.0; ///< Seconds per core cycle.
+    double activeAmps = 0.0;
+    double haltAmps = 0.0;
+    double sleepAmps = 0.0;
+    double ledAmps = 0.0;
+    /// @}
+
+    /// @name Peripheral energy
+    /// @{
+    /** Seconds one UART frame keeps the transmitter powered. */
+    double uartFrameSeconds = 0.0;
+    double uartTxAmps = 0.0;
+    /** Debug-link UART (target-side shifter is a real load too). */
+    double dbgUartFrameSeconds = 0.0;
+    double dbgUartTxAmps = 0.0;
+    /** Coulombs billed per NV store (0 for the passive model). */
+    double nvWriteCharge = 0.0;
+    /// @}
+
+    /// @name Checkpoint unit
+    /// @{
+    bool checkpointing = false;
+    /** Commit cycles at zero stack bytes (affine reconstruction of
+     *  Mcu::checkpointCostCyclesFor; exactness is pinned by
+     *  test_energy_analysis). */
+    unsigned chkptBaseCycles = 0;
+    unsigned chkptCyclesPerWord = 0;
+    /** NV words in an empty-stack frame (header + regs + seal). */
+    unsigned chkptBaseWords = 0;
+    std::uint32_t chkptSlotBytes = 0;
+    /// @}
+
+    /// @name Capacitor / boot budget
+    /// @{
+    double capacitanceF = 0.0;
+    double turnOnVolts = 0.0;
+    double brownOutVolts = 0.0;
+    /** Reset settle time before the first instruction, spent at
+     *  activeAmps. */
+    double bootSeconds = 0.0;
+    /// @}
+
+    /// @name Memory map (EA classification)
+    /// @{
+    std::uint32_t sramBase = 0, sramSize = 0;
+    std::uint32_t framBase = 0, framSize = 0;
+    std::uint32_t mmioBase = 0, mmioSize = 0;
+    std::uint32_t stackTop = 0;
+    /// @}
+
+    std::array<Quote, 256> quotes{};
+
+    /** Extract the model from a live device (see file header). */
+    static CostModel fromWisp(const target::Wisp &wisp);
+
+    const Quote &quote(isa::Opcode op) const
+    {
+        return quotes[static_cast<std::uint8_t>(op)];
+    }
+
+    /** Atomic-commit cycles for a given live stack size (the core
+     *  prices whole words: bytes/4, floor — pinned by test). */
+    unsigned chkptCycles(std::uint32_t stack_bytes) const
+    {
+        return chkptBaseCycles + chkptCyclesPerWord * (stack_bytes / 4);
+    }
+    /** NV words a commit writes (each bills nvWriteCharge). */
+    unsigned chkptWords(std::uint32_t stack_bytes) const
+    {
+        return chkptBaseWords + stack_bytes / 4;
+    }
+
+    /** Charge guaranteed extractable per boot with zero inflow:
+     *  C * (Von - Voff). */
+    double usableBudget() const
+    {
+        return capacitanceF * (turnOnVolts - brownOutVolts);
+    }
+    /** Charge drained before the first instruction of a boot. */
+    double bootCharge() const { return bootSeconds * activeAmps; }
+    /** Charge of one transmitted UART frame. */
+    double uartFrameCharge() const
+    {
+        return uartFrameSeconds * uartTxAmps;
+    }
+    /** Charge of one frame on the debug link. */
+    double dbgUartFrameCharge() const
+    {
+        return dbgUartFrameSeconds * dbgUartTxAmps;
+    }
+    /** Upper bound on the charge a checkpoint *restore* drains
+     *  before region code runs (frame read at active current; the
+     *  commit cycle formula over-counts reads, which is the safe
+     *  direction). */
+    double restoreChargeMax() const
+    {
+        std::uint32_t cap_bytes =
+            chkptSlotBytes > (chkptBaseWords + 1) * 4
+                ? chkptSlotBytes - (chkptBaseWords + 1) * 4
+                : 1024;
+        return chkptCycles(cap_bytes) * cyclePeriod * activeAmps;
+    }
+};
+
+} // namespace edb::analysis
+
+#endif // EDB_ANALYSIS_COST_MODEL_HH

@@ -1,9 +1,12 @@
 #include "edb/server.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 
+#include "analysis/analyzer.hh"
+#include "analysis/cost_model.hh"
 #include "energy/power_system.hh"
 #include "fleet/fleet.hh"
 #include "mcu/mcu.hh"
@@ -441,6 +444,9 @@ struct DebugServer::Session
     unsigned probesSent = 0;
     sim::Tick nextProbeAt = 0;
     std::uint64_t evalsSeen = 0;
+    /** Static-analysis work (priced instructions) not yet charged
+     *  against the eval budget. */
+    std::uint64_t analysisEvals = 0;
 
     SessionReport rpt;
 
@@ -914,6 +920,84 @@ DebugServer::dispatchCmd(Session &s, const JsonValue &req)
         enqueueReply(s, o.str());
         return;
     }
+    if (m == "analyze" || m == "willComplete") {
+        // Static energy-timing analysis of the attached world's
+        // firmware (DESIGN.md §14): strictly read-only — the cost
+        // table is extracted from configuration and the CFG walk
+        // runs over the shared assembled image; the target itself
+        // is never advanced (the capacitor-delta check in execute()
+        // holds bitwise). The walk is real server compute, so its
+        // priced instructions are charged against the same eval
+        // budget as breakpoint condition evaluations.
+        analysis::CostModel model =
+            analysis::CostModel::fromWisp(wisp);
+        analysis::AnalyzerOptions aopt;
+        // Harvesting envelope, integer wire units: nA in, mV cap.
+        if (auto imax = req.getUint("imaxNa"))
+            aopt.maxInflowAmps = static_cast<double>(*imax) * 1e-9;
+        if (auto iexp = req.getUint("iexpNa"))
+            aopt.expectedInflowAmps =
+                static_cast<double>(*iexp) * 1e-9;
+        if (auto vmax = req.getUint("vmaxMv"))
+            aopt.maxSourceVolts = static_cast<double>(*vmax) * 1e-3;
+        analysis::Report rep = analysis::analyze(
+            fleet_.worldProgram(s.world), model, aopt);
+        s.analysisEvals += rep.analyzedInstructions;
+
+        // Charges travel as integer nanocoulombs to keep replies
+        // compact and the wire format float-free.
+        auto nc = [](double coulombs) -> long long {
+            return std::llround(coulombs * 1e9);
+        };
+        if (m == "willComplete") {
+            const char *will = "unknown";
+            switch (rep.verdict) {
+              case analysis::Verdict::Completes: will = "yes"; break;
+              case analysis::Verdict::Starves: will = "no"; break;
+              case analysis::Verdict::MayStarve:
+                will = "maybe";
+                break;
+              case analysis::Verdict::RunsForever:
+                will = "never";
+                break;
+              case analysis::Verdict::Unknown: break;
+            }
+            o << "\"ok\":true,\"will\":\"" << will
+              << "\",\"verdict\":\""
+              << analysis::verdictName(rep.verdict) << "\"";
+            if (rep.predictedBoots > 0.0)
+                o << ",\"boots\":"
+                  << static_cast<std::uint64_t>(
+                         std::ceil(rep.predictedBoots));
+            o << "}";
+            enqueueReply(s, o.str());
+            return;
+        }
+        bool bounded = !rep.regions.empty();
+        for (const analysis::RegionInfo &r : rep.regions)
+            bounded = bounded && r.bounded;
+        o << "\"ok\":true,\"verdict\":\""
+          << analysis::verdictName(rep.verdict) << "\",\"reason\":\""
+          << jsonEscape(rep.reason) << "\",\"bounded\":"
+          << (bounded ? "true" : "false") << ",\"budgetNc\":"
+          << nc(rep.budget) << ",\"bootNc\":" << nc(rep.bootCharge)
+          << ",\"worstNc\":" << nc(rep.worstRegionCharge)
+          << ",\"instrs\":" << rep.analyzedInstructions
+          << ",\"rg\":[";
+        std::size_t emitted = 0;
+        for (const analysis::RegionInfo &r : rep.regions) {
+            if (emitted >= 4)
+                break; // paginate like "breaks": bounded reply size
+            if (emitted)
+                o << ",";
+            o << "[" << hexAddr(r.entryPc) << ","
+              << (r.bounded ? nc(r.chargeMax) : -1) << "]";
+            ++emitted;
+        }
+        o << "],\"nrg\":" << rep.regions.size() << "}";
+        enqueueReply(s, o.str());
+        return;
+    }
     if (m == "write") {
         if (!s.rw) {
             // Read-only sessions may not touch the target; "rw" is
@@ -1132,6 +1216,11 @@ DebugServer::shedOverBudget()
         std::uint64_t delta =
             cum > s.evalsSeen ? cum - s.evalsSeen : 0;
         s.evalsSeen = cum;
+        // Static-analysis RPCs consume the same budget: an
+        // "analyze"-spamming client is shed exactly like a
+        // breakpoint-spamming one.
+        delta += s.analysisEvals;
+        s.analysisEvals = 0;
         total += delta;
         if (delta > 0)
             charged.emplace_back(delta, &s);

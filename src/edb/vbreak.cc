@@ -240,7 +240,15 @@ class Parser
     {
         skipWs();
         if (eat("(")) {
+            // Depth cap: condition text arrives off the wire, and
+            // the parser recurses per '(' — without a cap a
+            // "((((..." payload walks the host off its stack.
+            if (++depth > maxDepth) {
+                fail("expression nested too deeply");
+                return nullptr;
+            }
             auto inner = parseOr();
+            --depth;
             if (!inner)
                 return nullptr;
             if (!eat(")")) {
@@ -363,9 +371,12 @@ class Parser
         return parseNumber(op.literal);
     }
 
+    static constexpr unsigned maxDepth = 32;
+
     const std::string &s;
     std::size_t pos = 0;
     std::string err;
+    unsigned depth = 0;
 };
 
 } // namespace
@@ -374,6 +385,13 @@ std::optional<VBreakCondition>
 VBreakCondition::parse(const std::string &text, std::string *error)
 {
     VBreakCondition c;
+    // Length cap before anything else: condition text arrives off
+    // the wire, and every byte is re-walked on parse failure paths.
+    if (text.size() > 4096) {
+        if (error)
+            *error = "expression too long";
+        return std::nullopt;
+    }
     c.text_ = text;
     // All-whitespace text is the unconditional default.
     bool blank = true;

@@ -33,6 +33,10 @@
  * address `a`; `sram[a]` likewise for SRAM. Out-of-range addresses
  * evaluate to 0 (a condition can never fault the host). Numbers may
  * be decimal, 0x-hex, or floating point (for `vcap` thresholds).
+ *
+ * Condition text arrives off the wire, so hostile input is bounded
+ * at parse time: text over 4096 bytes and parenthesis nesting past
+ * 32 levels are rejected (the parser recurses per '(').
  */
 
 #ifndef EDB_EDB_VBREAK_HH

@@ -140,6 +140,13 @@ class Fleet
     sim::AggregatingSink &logSink() { return sink_; }
     /** Current home shard of world `i` (migration moves it). */
     unsigned homeShardOf(std::size_t i) const { return homeShard[i]; }
+    /** Assembled firmware image world `i` runs (shared across
+     *  worlds with equal listings; used by the debug server's
+     *  static-analysis commands). */
+    const isa::Program &worldProgram(std::size_t i) const
+    {
+        return *worldImage[i];
+    }
     /// @}
 
     /** The built-in throughput firmware (shared by all worlds). */

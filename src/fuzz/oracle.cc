@@ -4,6 +4,8 @@
 #include <memory>
 #include <sstream>
 
+#include "analysis/analyzer.hh"
+#include "analysis/cost_model.hh"
 #include "energy/harvester.hh"
 #include "isa/assembler.hh"
 #include "mem/nv_audit.hh"
@@ -112,6 +114,9 @@ struct World
     mem::Addr warDonePc = 0;
     bool gadgetLive = false;
     std::uint64_t lossAfterGadget = 0;
+    /** Extra per-instruction probe run by the instrumented tracer
+     *  (etap leg: persist-boundary charge sampling). */
+    std::function<void(mem::Addr, const isa::Instr &)> preInstr;
 
     World(const OracleCase &c, const isa::Program &prog,
           const Options &opt)
@@ -187,6 +192,8 @@ struct World
         wisp.mcu().setTracer([this, cov](mem::Addr pc,
                                          const isa::Instr &i) {
             lastPc = pc;
+            if (preInstr)
+                preInstr(pc, i);
             if (warDonePc != 0 && pc == warDonePc)
                 gadgetLive = true;
             if (cov == nullptr)
@@ -596,6 +603,146 @@ runCrashAnywhere(const OracleCase &c, Coverage *cov)
     return out;
 }
 
+/** Etap: the static energy analyzer vs. simulated ground truth (see
+ *  the header). One instrumented world; the analyzer's per-boot
+ *  worst-case bound is compared against every measured
+ *  power-on→first-persist drain, and its starvation verdict against
+ *  the observed persist history. */
+OracleOutcome
+runEtap(const OracleCase &c, Coverage *cov)
+{
+    OracleOutcome out;
+    isa::Program prog = isa::assemble(c.program);
+    World::Options opt;
+    opt.checkpointing = c.checkpointing;
+    World w(c, prog, opt);
+
+    analysis::CostModel m = analysis::CostModel::fromWisp(w.wisp);
+    SrcParams sp = sourceParams(c.seed);
+    analysis::AnalyzerOptions aopt;
+    aopt.maxSourceVolts = sp.voc;
+    // The harvest noise is a multiplier 1+N(0,0.05) on the inflow;
+    // 1.4 is an 8-sigma ceiling. Peak inflow is at the brown-out
+    // floor, where the Thevenin drop is largest.
+    aopt.maxInflowAmps = 1.4 * (sp.voc - m.brownOutVolts) / sp.ohms;
+    aopt.expectedInflowAmps =
+        (sp.voc - 0.5 * (m.turnOnVolts + m.brownOutVolts)) / sp.ohms;
+    analysis::Report rep = analysis::analyze(prog, m, aopt);
+
+    bool all_bounded = !rep.regions.empty();
+    double worst_region = 0.0;
+    for (const analysis::RegionInfo &r : rep.regions) {
+        if (!r.bounded)
+            all_bounded = false;
+        worst_region = std::max(worst_region, r.chargeMax);
+    }
+
+    // Slack on top of the static bound, covering measurement lag
+    // only: a checkpoint persist is detected one instruction late —
+    // at worst that instruction is itself a full commit burst, run
+    // with the LED left on — and a UART frame from the last
+    // pre-persist store may still be shifting. Halts are sampled at
+    // the halt instruction itself, so they carry no lag.
+    double commit_seconds = m.restoreChargeMax() / m.activeAmps;
+    double slack = (commit_seconds + 64.0 * m.cyclePeriod) *
+                       (m.activeAmps + m.ledAmps) +
+                   m.uartFrameCharge() + m.dbgUartFrameCharge();
+    double bound =
+        m.bootCharge() + m.restoreChargeMax() + worst_region + slack;
+
+    // Ground truth: charge drained from each power-on to the first
+    // persist (checkpoint commit or halt) of that interval.
+    auto charge_out = [&] {
+        return w.wisp.power().cumulativeChargeOut();
+    };
+    sim::Tick last_forced = 0;
+    for (const BrownOut &b : c.schedule)
+        last_forced = std::max(last_forced, b.at);
+
+    double window_start = charge_out();
+    bool window_open = true;
+    std::uint64_t last_ck = w.wisp.mcu().checkpointCount();
+    double worst_observed = -1.0;
+    unsigned observed_windows = 0;
+    unsigned stall_boots = 0;
+    bool ever_halted = false;
+
+    auto record = [&](double obs) {
+        worst_observed = std::max(worst_observed, obs);
+        ++observed_windows;
+        window_open = false;
+    };
+    w.wisp.power().addPowerListener([&](bool on) {
+        if (on) {
+            window_start = charge_out();
+            window_open = true;
+        } else {
+            // A boot that ended with no persist: only un-forced
+            // losses count toward the stall verdict.
+            if (window_open && w.sim.now() > last_forced)
+                ++stall_boots;
+            window_open = false;
+        }
+    });
+    w.preInstr = [&](mem::Addr, const isa::Instr &i) {
+        std::uint64_t ck = w.wisp.mcu().checkpointCount();
+        if (window_open && ck != last_ck)
+            record(charge_out() - window_start);
+        last_ck = ck;
+        // The tracer fires after an instruction's cycles are billed,
+        // so sampling at the HALT opcode itself excludes post-halt
+        // drain (a program may halt with the LED left burning, and
+        // the next poll is up to a millisecond away).
+        if (i.op == isa::Opcode::Halt) {
+            ever_halted = true;
+            if (window_open)
+                record(charge_out() - window_start);
+        }
+    };
+    w.instrument(cov);
+    w.runTo(c.horizon, cov);
+
+    bool progress = ever_halted || w.wisp.mcu().checkpointCount() > 0;
+    std::ostringstream s;
+    s << "verdict=" << analysis::verdictName(rep.verdict)
+      << " bound=" << bound << " worstObserved=" << worst_observed
+      << " windows=" << observed_windows << " stallBoots="
+      << stall_boots << " checkpoints="
+      << w.wisp.mcu().checkpointCount() << " halted=" << ever_halted;
+
+    // Soundness: no observed boot-to-persist drain may exceed the
+    // static bound (only claimable when every region is bounded).
+    if (all_bounded && observed_windows > 0 &&
+        worst_observed > bound) {
+        out.failed = true;
+        out.detail = "static bound unsound: " + s.str();
+        return out;
+    }
+    // Starvation, both directions.
+    if (rep.verdict == analysis::Verdict::Starves && progress) {
+        out.failed = true;
+        out.detail = "starvation false positive: " + s.str();
+        return out;
+    }
+    if (rep.verdict == analysis::Verdict::Completes && !progress &&
+        stall_boots >= 6) {
+        out.failed = true;
+        out.detail = "starvation false negative: " + s.str();
+        return out;
+    }
+
+    bool soundness_ran = all_bounded && observed_windows > 0;
+    bool starve_ran =
+        rep.verdict == analysis::Verdict::Starves ||
+        (rep.verdict == analysis::Verdict::Completes &&
+         (progress || stall_boots >= 6));
+    if (!soundness_ran && !starve_ran)
+        out.inconclusive = true;
+    // Always report the comparison (corpus emission steers on it).
+    out.detail = s.str();
+    return out;
+}
+
 } // namespace
 
 const char *
@@ -608,6 +755,7 @@ oracleName(OracleId id)
       case OracleId::Audit: return "audit";
       case OracleId::Superblock: return "superblock";
       case OracleId::CrashAnywhere: return "crashanywhere";
+      case OracleId::Etap: return "etap";
     }
     return "unknown";
 }
@@ -645,6 +793,7 @@ runOracle(OracleId id, const OracleCase &c, Coverage *coverage)
       case OracleId::Superblock: return runSuperblock(c, coverage);
       case OracleId::CrashAnywhere:
         return runCrashAnywhere(c, coverage);
+      case OracleId::Etap: return runEtap(c, coverage);
     }
     return {};
 }

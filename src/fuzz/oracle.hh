@@ -28,6 +28,15 @@
  *    tracer, which forces per-instruction stepping — the superblock
  *    leg runs un-instrumented so blocks actually dispatch; the
  *    reference leg carries the coverage tracer instead.
+ *  - Etap: the static energy analyzer (src/analysis/, DESIGN.md §14)
+ *    cross-checked against simulated ground truth. Soundness: the
+ *    analyzer's worst-case boot-to-persist charge bound must never
+ *    be exceeded by any observed power-on→first-persist drain.
+ *    Starvation: a must-starve verdict with observed forward
+ *    progress is a false positive; a completes verdict with a
+ *    conclusive stall (no persist over many un-forced boots) is a
+ *    false negative. Cases where neither half can be exercised
+ *    (unbounded regions and no starvation claim) are inconclusive.
  *  - CrashAnywhere: the torn-write consistency oracle (§11). The
  *    case runs under the sealed commit discipline with interruptible
  *    commits, and a fault injector forces a brown-out at a
@@ -62,12 +71,13 @@ enum class OracleId : std::uint8_t
     Audit,
     Superblock,
     CrashAnywhere,
+    Etap,
 };
 
-constexpr unsigned numOracles = 6;
+constexpr unsigned numOracles = 7;
 
 /** Stable artifact name ("fastref", "snapshot", "replay", "audit",
- *  "superblock", "crashanywhere"). */
+ *  "superblock", "crashanywhere", "etap"). */
 const char *oracleName(OracleId id);
 std::optional<OracleId> oracleFromName(const std::string &name);
 

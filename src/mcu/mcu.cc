@@ -1290,10 +1290,30 @@ Mcu::checkpointCostCycles() const
 {
     mem::Addr sp = regs[isa::regSp];
     mem::Addr stack_bytes = sp <= cfg.stackTop ? cfg.stackTop - sp : 0;
+    return checkpointCostCyclesFor(stack_bytes);
+}
+
+unsigned
+Mcu::checkpointCostCyclesFor(std::uint32_t stack_bytes) const
+{
     unsigned words = 22 + stack_bytes / 4;
     if (cfg.commitDiscipline == CommitDiscipline::Sealed)
         ++words; // the seal word
     return words * (1 + cfg.memExtraCycles + cfg.framWriteExtraCycles);
+}
+
+Mcu::CostQuote
+Mcu::costQuote(isa::Opcode op) const
+{
+    unsigned cyc = 0;
+    InstrClass cls = InstrClass::Static;
+    classifyCost(op, cyc, cls);
+    CostQuote q;
+    q.cycles = cyc;
+    q.framExtraCycles =
+        cls == InstrClass::Store ? cfg.framWriteExtraCycles : 0;
+    q.stackDependent = cls == InstrClass::Chkpt;
+    return q;
 }
 
 std::uint32_t

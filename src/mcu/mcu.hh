@@ -314,6 +314,37 @@ class Mcu : public sim::Component
     /** Tick duration of one core clock cycle. */
     sim::Tick cyclePeriod() const { return cyclePeriod_; }
 
+    /// @name Static-analysis cost quotes (analysis/cost_model.hh)
+    /// The energy analyzer's per-instruction cost table is extracted
+    /// through these instead of re-deriving the cost rules, so the
+    /// table can never drift from what the interpreter charges: both
+    /// paths share classifyCost / the checkpoint cost formula.
+    /// @{
+    struct CostQuote
+    {
+        /** Cycles charged when no dynamic surcharge applies (already
+         *  includes memExtraCycles for memory-touching opcodes). */
+        unsigned cycles = 0;
+        /** Extra cycles when a store's effective address lands in
+         *  FRAM; zero for every non-store opcode. */
+        unsigned framExtraCycles = 0;
+        /** CHKPT with the checkpoint unit enabled: the cost is a
+         *  function of live stack depth — use
+         *  checkpointCostCyclesFor, not `cycles`. */
+        bool stackDependent = false;
+    };
+    /** Decode-time cost of `op`, exactly as step() would charge it. */
+    CostQuote costQuote(isa::Opcode op) const;
+    /**
+     * Commit cost of an (atomic) CHKPT for a given stack depth, in
+     * cycles: the same formula checkpointCostCycles() applies to the
+     * live stack pointer. Under interruptible commit the interpreter
+     * charges baseCycles(Chkpt) up front and the same per-word total
+     * during the burst, so this is the commit-burst cost either way.
+     */
+    unsigned checkpointCostCyclesFor(std::uint32_t stack_bytes) const;
+    /// @}
+
     /** Hard cap on McuConfig::superblockMaxLen (and the span of the
      *  block-length statistics). */
     static constexpr unsigned superblockLenCap = 32;

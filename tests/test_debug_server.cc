@@ -675,3 +675,207 @@ TEST(DebugServer, DetachLeavesCompletedReport)
     EXPECT_GT(server.reports()[0].commandsServed, 0u);
     EXPECT_EQ(server.stuckSessions(), 0u);
 }
+
+// ---------------------------------------------------------------------
+// Condition parser hardening: round-trip, hostile input, boundaries
+
+TEST(VBreakCondition, TextRoundTripsThroughParse)
+{
+    fleet::Fleet fleet(tinyFleet());
+    target::Wisp &wisp = fleet.world(0).wisp();
+    const char *exprs[] = {
+        "",
+        "r0==0",
+        "r15 != 0x10",
+        "vcap>1.8",
+        "instrs<1000000||cycles>=5",
+        "(r1>2||r2<5)&&vcap>=0.5",
+        "nv[0x4000]==0&&sram[0x0400]<256",
+    };
+    for (const char *text : exprs) {
+        auto first = VBreakCondition::parse(text);
+        ASSERT_TRUE(first.has_value()) << text;
+        EXPECT_EQ(first->text(), text);
+        // Reparsing the recovered source yields an equivalent
+        // condition: same text, same shape, same live verdict.
+        auto second = VBreakCondition::parse(first->text());
+        ASSERT_TRUE(second.has_value()) << text;
+        EXPECT_EQ(second->text(), first->text());
+        EXPECT_EQ(second->unconditional(), first->unconditional());
+        EXPECT_EQ(second->eval(wisp), first->eval(wisp)) << text;
+    }
+}
+
+TEST(VBreakCondition, OverlongExpressionRejected)
+{
+    // Exactly at the 4 KiB cap still parses (trailing whitespace is
+    // legal); one byte past is rejected before the parser walks it.
+    std::string padded = "r0==0";
+    padded.resize(4096, ' ');
+    EXPECT_TRUE(VBreakCondition::parse(padded).has_value());
+    std::string why;
+    padded.push_back(' ');
+    EXPECT_FALSE(VBreakCondition::parse(padded, &why).has_value());
+    EXPECT_NE(why.find("long"), std::string::npos) << why;
+
+    // A syntactically valid but oversize conjunction chain is
+    // rejected by length alone.
+    std::string chain = "r0==0";
+    while (chain.size() <= 4200)
+        chain += "&&r0==0";
+    EXPECT_FALSE(VBreakCondition::parse(chain).has_value());
+}
+
+TEST(VBreakCondition, DepthCapRejectsDeepNesting)
+{
+    auto nested = [](unsigned n) {
+        std::string s(n, '(');
+        s += "r0==0";
+        s.append(n, ')');
+        return s;
+    };
+    EXPECT_TRUE(VBreakCondition::parse(nested(8)).has_value());
+    EXPECT_TRUE(VBreakCondition::parse(nested(32)).has_value());
+    std::string why;
+    EXPECT_FALSE(
+        VBreakCondition::parse(nested(33), &why).has_value());
+    EXPECT_NE(why.find("deep"), std::string::npos) << why;
+    // An unterminated paren bomb fails cleanly too — the depth cap
+    // fires long before recursion could exhaust the host stack.
+    EXPECT_FALSE(
+        VBreakCondition::parse(std::string(4000, '(')).has_value());
+}
+
+TEST(VBreakCondition, SurvivesMalformedByteSoup)
+{
+    std::uint64_t state = 99;
+    auto next = [&state] { return state = sim::splitmix64(state); };
+    // Half grammar-adjacent glyphs (reaches deep parser states),
+    // half raw bytes. Parse must never crash, hang, or fail without
+    // a reason.
+    const char glyphs[] = "r0123456789()&|=<>![]xpcvainstrsyle. ";
+    for (int trial = 0; trial < 4000; ++trial) {
+        std::string text;
+        std::size_t len = next() % 48;
+        for (std::size_t i = 0; i < len; ++i) {
+            if (next() & 1)
+                text.push_back(
+                    glyphs[next() % (sizeof glyphs - 1)]);
+            else
+                text.push_back(static_cast<char>(next() & 0xFF));
+        }
+        std::string why;
+        auto cond = VBreakCondition::parse(text, &why);
+        if (!cond.has_value())
+            EXPECT_FALSE(why.empty());
+    }
+}
+
+TEST(VBreakCondition, RegionBaseBoundaryAddresses)
+{
+    fleet::Fleet fleet(tinyFleet());
+    target::Wisp &wisp = fleet.world(0).wisp();
+    namespace lay = target::layout;
+    char buf[64];
+
+    // The first word of each region reads normally...
+    wisp.framRegion().write32(lay::framBase, 0xa5a5a5a5u);
+    std::snprintf(buf, sizeof buf, "nv[0x%x]==0xa5a5a5a5",
+                  lay::framBase);
+    EXPECT_TRUE(evalOn(wisp, buf));
+    wisp.sramRegion().write32(lay::sramBase, 0x5a5a5a5au);
+    std::snprintf(buf, sizeof buf, "sram[0x%x]==0x5a5a5a5a",
+                  lay::sramBase);
+    EXPECT_TRUE(evalOn(wisp, buf));
+
+    // ...one byte below each base is out of range: reads as zero.
+    std::snprintf(buf, sizeof buf, "nv[0x%x]==0", lay::framBase - 1);
+    EXPECT_TRUE(evalOn(wisp, buf));
+    std::snprintf(buf, sizeof buf, "sram[0x%x]==0",
+                  lay::sramBase - 1);
+    EXPECT_TRUE(evalOn(wisp, buf));
+}
+
+// ---------------------------------------------------------------------
+// Static-analysis RPCs: read-only verdicts, budget accounting
+
+TEST(DebugServer, AnalyzeRpcVerdictWithZeroInterference)
+{
+    const fleet::FleetConfig cfg = tinyFleet(2);
+
+    std::vector<fleet::WorldDigest> served;
+    std::uint64_t ran = 0;
+    {
+        fleet::Fleet fleet(cfg);
+        DebugServer server(fleet);
+        RpcClient rpc(server, "analyst");
+        rpc.request("\"m\":\"attach\",\"world\":0");
+
+        std::uint64_t an = rpc.request("\"m\":\"analyze\"");
+        auto ra = awaitId(rpc, an);
+        ASSERT_TRUE(ra.has_value());
+        EXPECT_TRUE(ra->get("ok")->boolean(false));
+        EXPECT_FALSE(ra->getStr("verdict").value_or("").empty());
+        EXPECT_GT(ra->getUint("budgetNc").value_or(0), 0u);
+        EXPECT_GE(ra->getUint("nrg").value_or(0), 1u);
+        EXPECT_GT(ra->getUint("instrs").value_or(0), 0u);
+
+        std::uint64_t wc = rpc.request("\"m\":\"willComplete\"");
+        auto rw = awaitId(rpc, wc);
+        ASSERT_TRUE(rw.has_value());
+        EXPECT_TRUE(rw->get("ok")->boolean(false));
+        std::string will = rw->getStr("will").value_or("");
+        EXPECT_TRUE(will == "yes" || will == "no" ||
+                    will == "maybe" || will == "never" ||
+                    will == "unknown")
+            << will;
+
+        while (fleet.epochsRun() < 12) {
+            server.runEpoch();
+            rpc.pump();
+            rpc.takeResponses();
+            rpc.takeEvents();
+        }
+        // The virtual charge/restore discipline held bitwise: the
+        // read-only analysis moved the capacitor not at all.
+        EXPECT_EQ(server.stats().interferenceViolations, 0u);
+        ran = fleet.epochsRun();
+        served = fleet.digests();
+    }
+
+    // And the stronger form: world trajectories with the analysis
+    // session attached are bit-identical to a bare fleet's.
+    fleet::Fleet bare(cfg);
+    bare.runEpochs(static_cast<unsigned>(ran));
+    std::vector<fleet::WorldDigest> ref = bare.digests();
+    ASSERT_EQ(served.size(), ref.size());
+    for (std::size_t w = 0; w < ref.size(); ++w)
+        EXPECT_TRUE(served[w] == ref[w]) << "world " << w;
+}
+
+TEST(DebugServer, AnalyzeSpamShedsOnEvalBudget)
+{
+    fleet::Fleet fleet(tinyFleet());
+    ServerConfig cfg;
+    // The default firmware prices far more than 10 instructions per
+    // analyze, so a single served request busts the poll budget.
+    cfg.evalBudgetPerPoll = 10;
+    DebugServer server(fleet, cfg);
+    RpcClient rpc(server, "spammer");
+    std::uint64_t attach =
+        rpc.request("\"m\":\"attach\",\"world\":0");
+    ASSERT_TRUE(awaitId(rpc, attach).has_value());
+    for (int i = 0; i < 8; ++i)
+        rpc.request("\"m\":\"analyze\"");
+    for (unsigned e = 0; e < 20 && server.activeSessions() > 0;
+         ++e) {
+        server.runEpoch();
+        rpc.pump();
+        rpc.takeResponses();
+        rpc.takeEvents();
+    }
+    EXPECT_EQ(server.activeSessions(), 0u);
+    ASSERT_EQ(server.reports().size(), 1u);
+    EXPECT_EQ(server.reports()[0].outcome, SessionOutcome::Shed);
+    EXPECT_EQ(server.reports()[0].reason, "eval-budget");
+}

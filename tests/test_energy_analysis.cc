@@ -1,0 +1,498 @@
+/**
+ * @file
+ * Tests for the static energy-timing analyzer (src/analysis/,
+ * DESIGN.md §14): cost-table exactness against live PowerSystem
+ * accounting per NV technology, loop-bound inference, unbounded-loop
+ * taxonomy, checkpoint-region segmentation, the must-starve rules,
+ * and the Fig 9 verdicts on the shipped applications.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "analysis/analyzer.hh"
+#include "analysis/cost_model.hh"
+#include "apps/activity.hh"
+#include "apps/fibonacci.hh"
+#include "isa/assembler.hh"
+#include "mcu/mmio_map.hh"
+#include "runtime/libedb.hh"
+#include "sim/simulator.hh"
+#include "sim/time.hh"
+#include "target/wisp.hh"
+
+using namespace edb;
+using analysis::AnalyzerOptions;
+using analysis::CostModel;
+using analysis::LoopKind;
+using analysis::Report;
+using analysis::Verdict;
+
+namespace {
+
+/** A wisp on an effectively infinite capacitor: no brown-outs, so
+ *  simulated charge accounting is a pure function of the program. */
+struct TetheredRig
+{
+    sim::Simulator sim{424242};
+    energy::TheveninHarvester supply{3.0, 10.0};
+    target::Wisp wisp;
+
+    explicit TetheredRig(target::WispConfig config = {})
+        : wisp(sim, "wisp", &supply, nullptr, tether(config))
+    {
+    }
+
+    static target::WispConfig
+    tether(target::WispConfig c)
+    {
+        c.power.capacitanceF = 1.0; // farad-scale: cannot brown out
+        c.power.initialVolts = 3.0;
+        c.power.maxVolts = 3.0;
+        c.power.bootOnStart = true;
+        c.power.harvestNoiseSigma = 0.0;
+        return c;
+    }
+
+    /** Run until the core halts; returns false on timeout. The
+     *  extra settle chunk moves wall-clock past the core's
+     *  run-ahead slice so the power integral covers the halt tail
+     *  exactly. */
+    bool
+    runToHalt(sim::Tick budget)
+    {
+        sim::Tick end = sim.now() + budget;
+        while (sim.now() < end) {
+            sim.runFor(sim::oneMs / 10);
+            if (wisp.mcu().state() == mcu::McuState::Halted) {
+                sim.runFor(sim::oneMs);
+                return true;
+            }
+        }
+        return false;
+    }
+};
+
+std::string
+withHeader(const std::string &body)
+{
+    return runtime::programHeader() + body + runtime::libedbSource();
+}
+
+Report
+analyzeOn(TetheredRig &rig, const isa::Program &prog,
+          const AnalyzerOptions &opt = {})
+{
+    CostModel m = CostModel::fromWisp(rig.wisp);
+    return analysis::analyze(prog, m, opt);
+}
+
+// ------------------------------------------------------------------
+// Cost-table exactness: on a straight-line program the predicted
+// charge must reproduce the simulator's own accounting, for every
+// NV technology (their write charge and wait states differ).
+
+void
+checkStraightLineExact(mem::NvTechConfig tech)
+{
+    target::WispConfig config;
+    config.nvTech = tech;
+    TetheredRig rig(config);
+    auto prog = isa::assemble(withHeader(R"(
+main:
+    li   r1, 41
+    addi r1, r1, 1
+    mov  r2, r1
+    mul  r3, r1, r2
+    la   r4, 0x5000        ; FRAM scratch
+    stw  r3, [r4]          ; NV write: tech charge + wait states
+    stw  r1, [r4 + 4]
+    ldw  r5, [r4]
+    la   r6, 0x1000        ; SRAM scratch
+    stw  r5, [r6]
+    ldb  r7, [r6]
+    push r7
+    pop  r8
+    halt
+)"));
+    rig.wisp.flash(prog);
+    rig.wisp.start();
+    // Flashing invalidates both checkpoint slots, which are NV
+    // writes the live accounting bills before the program exists;
+    // measure relative to that baseline.
+    double baseline = rig.wisp.power().cumulativeChargeOut();
+
+    CostModel m = CostModel::fromWisp(rig.wisp);
+    Report rep = analysis::analyze(prog, m);
+    ASSERT_EQ(rep.verdict, Verdict::Completes) << rep.reason;
+    ASSERT_EQ(rep.regions.size(), 1u);
+    const auto &r = rep.regions[0];
+    // Straight-line: best and worst case coincide.
+    EXPECT_DOUBLE_EQ(r.chargeMax, r.chargeMin);
+    EXPECT_DOUBLE_EQ(r.cyclesMax, r.cyclesMin);
+
+    const sim::Tick horizon = 5 * sim::oneMs;
+    ASSERT_TRUE(rig.runToHalt(horizon));
+    sim::Tick t_end = rig.sim.now();
+    // Let the power integrator catch up to "now" exactly.
+    rig.sim.runFor(0);
+
+    // Predicted total drain over the window [0, t_end]: boot settle
+    // at active current, the program body, then the halted core
+    // until the end of the window.
+    double t_total = sim::secondsFromTicks(t_end);
+    double body_s = r.cyclesMax * m.cyclePeriod;
+    double predicted = m.bootCharge() + r.chargeMax +
+                       (t_total - m.bootSeconds - body_s) *
+                           m.haltAmps;
+    double measured =
+        rig.wisp.power().cumulativeChargeOut() - baseline;
+    EXPECT_NEAR(measured, predicted, 1e-9 * predicted)
+        << "tech=" << tech.name;
+
+    // Cycle prediction is exact, not just close.
+    EXPECT_EQ(static_cast<std::uint64_t>(r.cyclesMax),
+              rig.wisp.mcu().cycleCount())
+        << "tech=" << tech.name;
+}
+
+TEST(CostTable, StraightLineExactFram)
+{
+    checkStraightLineExact(mem::framTech());
+}
+
+TEST(CostTable, StraightLineExactFlash)
+{
+    checkStraightLineExact(mem::flashTech());
+}
+
+TEST(CostTable, StraightLineExactSttMram)
+{
+    checkStraightLineExact(mem::sttMramTech());
+}
+
+TEST(CostTable, CheckpointCostMatchesLiveCore)
+{
+    target::WispConfig config;
+    config.mcu.checkpointingEnabled = true;
+    TetheredRig rig(config);
+    CostModel m = CostModel::fromWisp(rig.wisp);
+    for (std::uint32_t bytes : {0u, 4u, 6u, 64u, 500u}) {
+        EXPECT_EQ(m.chkptCycles(bytes),
+                  rig.wisp.mcu().checkpointCostCyclesFor(bytes))
+            << bytes;
+    }
+}
+
+// ------------------------------------------------------------------
+// Loop handling.
+
+TEST(Loops, CountedLoopCyclesExact)
+{
+    TetheredRig rig;
+    auto prog = isa::assemble(withHeader(R"(
+main:
+    li   r10, 7
+loop:
+    addi r1, r1, 3
+    xori r1, r1, 5
+    addi r10, r10, -1
+    cmpi r10, 0
+    bne  loop
+    halt
+)"));
+    rig.wisp.flash(prog);
+    rig.wisp.start();
+    Report rep = analyzeOn(rig, prog);
+    ASSERT_EQ(rep.verdict, Verdict::Completes) << rep.reason;
+    ASSERT_TRUE(rig.runToHalt(5 * sim::oneMs));
+    EXPECT_DOUBLE_EQ(rep.regions[0].cyclesMax,
+                     rep.regions[0].cyclesMin);
+    EXPECT_EQ(static_cast<std::uint64_t>(rep.regions[0].cyclesMax),
+              rig.wisp.mcu().cycleCount());
+}
+
+TEST(Loops, BarrenSpinStarves)
+{
+    TetheredRig rig;
+    auto prog = isa::assemble(withHeader(R"(
+main:
+    br   main
+)"));
+    Report rep = analyzeOn(rig, prog);
+    EXPECT_EQ(rep.verdict, Verdict::Starves) << rep.reason;
+    ASSERT_EQ(rep.regions.size(), 1u);
+    EXPECT_EQ(rep.regions[0].worstLoop, LoopKind::Barren);
+    EXPECT_TRUE(rep.regions[0].unavoidableBarren);
+}
+
+TEST(Loops, UnknownTripBarrenLoopStarves)
+{
+    // The counter escapes the count-down idiom (step -2), so trips
+    // are unknown and the body neither stores nor polls: barren.
+    TetheredRig rig;
+    auto prog = isa::assemble(withHeader(R"(
+main:
+    li   r10, 9
+loop:
+    addi r10, r10, -2
+    cmpi r10, 0
+    bne  loop
+    halt
+)"));
+    Report rep = analyzeOn(rig, prog);
+    EXPECT_EQ(rep.verdict, Verdict::Starves) << rep.reason;
+}
+
+TEST(Loops, EventWaitLoopIsClean)
+{
+    TetheredRig rig;
+    auto prog = isa::assemble(withHeader(R"(
+main:
+    la   r1, 0xF014        ; uart0Status
+wait:
+    ldw  r2, [r1]
+    andi r2, r2, 2
+    cmpi r2, 0
+    beq  wait
+    halt
+)"));
+    Report rep = analyzeOn(rig, prog);
+    EXPECT_EQ(rep.verdict, Verdict::RunsForever) << rep.reason;
+    EXPECT_EQ(rep.regions[0].worstLoop, LoopKind::IoBound);
+    EXPECT_TRUE(rep.haltReachable);
+}
+
+TEST(Loops, ProductiveNvLoopIsClean)
+{
+    // Trip count depends on FRAM contents (unknown), but every
+    // iteration banks NV state: forward progress.
+    TetheredRig rig;
+    auto prog = isa::assemble(withHeader(R"(
+main:
+    la   r1, 0x5000
+loop:
+    ldw  r2, [r1]
+    addi r2, r2, 1
+    stw  r2, [r1]
+    andi r3, r2, 255
+    cmpi r3, 0
+    bne  loop
+    halt
+)"));
+    Report rep = analyzeOn(rig, prog);
+    EXPECT_EQ(rep.verdict, Verdict::RunsForever) << rep.reason;
+    EXPECT_EQ(rep.regions[0].worstLoop, LoopKind::Productive);
+}
+
+// ------------------------------------------------------------------
+// Checkpoint-region segmentation.
+
+TEST(Regions, ChkptSplitsProgramIntoRegions)
+{
+    target::WispConfig config;
+    config.mcu.checkpointingEnabled = true;
+    TetheredRig rig(config);
+    auto prog = isa::assemble(withHeader(R"(
+main:
+    li   r1, 1
+    chkpt
+    addi r1, r1, 1
+    chkpt
+    addi r1, r1, 1
+    halt
+)"));
+    Report rep = analyzeOn(rig, prog);
+    EXPECT_EQ(rep.verdict, Verdict::Completes) << rep.reason;
+    EXPECT_EQ(rep.regions.size(), 3u);
+    EXPECT_TRUE(rep.checkpointing);
+    for (const auto &r : rep.regions) {
+        EXPECT_TRUE(r.bounded);
+        EXPECT_GT(r.chargeMax, 0.0);
+    }
+    // The entry region pays for its checkpoint commit: it must be
+    // the most expensive (the others run two instructions + commit
+    // or just halt).
+    EXPECT_GE(rep.regions[0].chargeMax, rep.regions[2].chargeMax);
+}
+
+TEST(Regions, CheckpointingDisabledIsOneRegion)
+{
+    TetheredRig rig; // default config: checkpointing off
+    auto prog = isa::assemble(withHeader(R"(
+main:
+    li   r1, 1
+    chkpt
+    addi r1, r1, 1
+    halt
+)"));
+    Report rep = analyzeOn(rig, prog);
+    EXPECT_FALSE(rep.checkpointing);
+    EXPECT_EQ(rep.regions.size(), 1u);
+    EXPECT_EQ(rep.verdict, Verdict::Completes) << rep.reason;
+}
+
+TEST(Regions, ChkptInsideLoopBoundsTheRegion)
+{
+    // An unbounded loop whose body checkpoints: every region is
+    // bounded (the persist point cuts the cycle), so the program
+    // makes per-boot progress forever.
+    target::WispConfig config;
+    config.mcu.checkpointingEnabled = true;
+    TetheredRig rig(config);
+    auto prog = isa::assemble(withHeader(R"(
+main:
+    la   r1, 0x5000
+loop:
+    ldw  r2, [r1]
+    addi r2, r2, 1
+    stw  r2, [r1]
+    chkpt
+    br   loop
+)"));
+    Report rep = analyzeOn(rig, prog);
+    EXPECT_EQ(rep.verdict, Verdict::RunsForever) << rep.reason;
+    for (const auto &r : rep.regions)
+        EXPECT_TRUE(r.bounded) << std::hex << r.entryPc;
+}
+
+// ------------------------------------------------------------------
+// Starvation arithmetic (S2) on a bounded region.
+
+TEST(Starvation, BoundedRegionOverBudget)
+{
+    // ~6000 active cycles in one region against a 0.47 uF
+    // capacitor: the usable budget is C*(2.4-1.8) = 0.282 uC, the
+    // region needs ~6000 * 0.25us * 0.5mA = 0.75 uC. Built without
+    // the tether: the capacitor size is the point here.
+    target::WispConfig config;
+    config.power.capacitanceF = 0.47e-6;
+    sim::Simulator sim{7};
+    energy::TheveninHarvester supply{3.0, 1000.0};
+    target::Wisp wisp(sim, "wisp", &supply, nullptr, config);
+    auto prog = isa::assemble(withHeader(R"(
+main:
+    li   r10, 1000
+loop:
+    addi r1, r1, 1
+    xori r1, r1, 3
+    addi r10, r10, -1
+    cmpi r10, 0
+    bne  loop
+    halt
+)"));
+    CostModel m = CostModel::fromWisp(wisp);
+
+    // Unknown environment: the analyzer may not claim must-starve.
+    Report rep = analysis::analyze(prog, m);
+    EXPECT_EQ(rep.verdict, Verdict::MayStarve) << rep.reason;
+
+    // With a known weak source (well under the active current and
+    // a ceiling the capacitor cannot stretch), the claim upgrades.
+    AnalyzerOptions opt;
+    opt.maxInflowAmps = 50e-6;
+    opt.maxSourceVolts = 3.0;
+    Report rep2 = analysis::analyze(prog, m, opt);
+    EXPECT_EQ(rep2.verdict, Verdict::Starves) << rep2.reason;
+
+    // A generous source ceiling keeps it a "may".
+    AnalyzerOptions opt3;
+    opt3.maxInflowAmps = 10e-3;
+    opt3.maxSourceVolts = 3.0;
+    Report rep3 = analysis::analyze(prog, m, opt3);
+    EXPECT_EQ(rep3.verdict, Verdict::MayStarve) << rep3.reason;
+}
+
+// ------------------------------------------------------------------
+// The Fig 9 application verdicts.
+
+TEST(Fig9, DebugBuildFibonacciStarves)
+{
+    // The unguarded consistency check walks the whole list every
+    // main-loop iteration: an unbounded barren walk stands between
+    // every boot and the next append (paper Section 5.3.2).
+    apps::FibonacciOptions options;
+    options.withCheck = true;
+    auto prog = apps::buildFibonacciApp(options);
+    TetheredRig rig;
+    Report rep = analyzeOn(rig, prog);
+    EXPECT_EQ(rep.verdict, Verdict::Starves) << rep.reason;
+}
+
+TEST(Fig9, ReleaseBuildFibonacciIsClean)
+{
+    auto prog = apps::buildFibonacciApp({});
+    TetheredRig rig;
+    Report rep = analyzeOn(rig, prog);
+    EXPECT_NE(rep.verdict, Verdict::Starves) << rep.reason;
+    EXPECT_NE(rep.verdict, Verdict::Unknown) << rep.reason;
+}
+
+TEST(Fig9, ActivityAppIsClean)
+{
+    apps::ActivityOptions options;
+    options.output = apps::ActivityOutput::UartPrintf;
+    auto prog = apps::buildActivityApp(options);
+    TetheredRig rig;
+    Report rep = analyzeOn(rig, prog);
+    EXPECT_NE(rep.verdict, Verdict::Starves) << rep.reason;
+    EXPECT_NE(rep.verdict, Verdict::MayStarve) << rep.reason;
+    EXPECT_NE(rep.verdict, Verdict::Unknown) << rep.reason;
+}
+
+TEST(Fig9, QuickstartGuestIsClean)
+{
+    // The README / examples/quickstart.cpp guest program.
+    auto prog = isa::assemble(withHeader(R"(
+main:
+    la   r5, 0x5000
+loop:
+    ldw  r1, [r5]
+    addi r1, r1, 1
+    stw  r1, [r5]
+    andi r2, r1, 0x0FFF
+    cmpi r2, 0
+    bne  loop
+    li   r1, 1
+    call edb_watchpoint
+    br   loop
+)"));
+    TetheredRig rig;
+    Report rep = analyzeOn(rig, prog);
+    EXPECT_NE(rep.verdict, Verdict::Starves) << rep.reason;
+    EXPECT_NE(rep.verdict, Verdict::MayStarve) << rep.reason;
+    EXPECT_NE(rep.verdict, Verdict::Unknown) << rep.reason;
+}
+
+// ------------------------------------------------------------------
+// Boots-to-completion prediction plumbing.
+
+TEST(Prediction, CheckpointedProgramPredictsBoots)
+{
+    target::WispConfig config;
+    config.mcu.checkpointingEnabled = true;
+    TetheredRig rig(config);
+    auto prog = isa::assemble(withHeader(R"(
+main:
+    li   r10, 50
+loop:
+    addi r1, r1, 1
+    chkpt
+    addi r10, r10, -1
+    cmpi r10, 0
+    bne  loop
+    halt
+)"));
+    Report rep = analyzeOn(rig, prog);
+    ASSERT_EQ(rep.verdict, Verdict::Completes) << rep.reason;
+    EXPECT_TRUE(rep.totalBounded);
+    EXPECT_GT(rep.totalChargeMax, 0.0);
+    EXPECT_GE(rep.totalChargeMax, rep.totalChargeMin);
+    EXPECT_GE(rep.predictedBoots, 1.0);
+    EXPECT_GT(rep.instrsPerBoot, 0.0);
+    EXPECT_GT(rep.analyzedInstructions, 0u);
+}
+
+} // namespace

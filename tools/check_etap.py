@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Gate the static-analyzer cross-validation (bench/etap_validate).
+
+The harness prints one JSON summary as its last ``{...}`` line. This
+script reads that output (a file or stdin), extracts the summary and
+enforces the analyzer contract independently of the harness's own
+exit code, so a CI wiring mistake (e.g. a pipe swallowing the
+status) cannot silently pass:
+
+  * ``soundness_violations`` must be 0 — no simulated
+    power-on→persist drain may ever exceed the static bound;
+  * ``starvation_false_positives`` and
+    ``starvation_false_negatives`` must be 0 — a must-starve verdict
+    with observed progress, or a completes verdict on a world that
+    demonstrably stalls, are both analyzer bugs;
+  * the soundness half must actually have been exercised
+    (``conclusive > 0`` and ``windows_measured > 0``);
+  * the Fig 9 bug must be found statically
+    (``fig9_debug_starves``) while the release build, the activity
+    app and the quickstart guest analyze clean;
+  * the harness's own verdict (``ok``) must be true.
+
+Usage:
+  etap_validate --cases 300 | check_etap.py -
+  check_etap.py etap_output.txt
+
+Stdlib only -- runs on a bare CI python3.
+"""
+
+import json
+import sys
+
+ZERO_FIELDS = (
+    "soundness_violations",
+    "starvation_false_positives",
+    "starvation_false_negatives",
+    "other_failures",
+)
+
+TRUE_FIELDS = (
+    "fig9_debug_starves",
+    "fib_release_clean",
+    "activity_clean",
+    "quickstart_clean",
+    "ok",
+)
+
+POSITIVE_FIELDS = (
+    "conclusive",
+    "windows_measured",
+)
+
+
+def last_json_line(text):
+    """The harness prints the summary as its last JSON object line."""
+    summary = None
+    for line in text.splitlines():
+        line = line.strip()
+        if line.startswith("{") and line.endswith("}"):
+            try:
+                summary = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+    return summary
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if sys.argv[1] == "-":
+        text = sys.stdin.read()
+    else:
+        with open(sys.argv[1]) as f:
+            text = f.read()
+
+    summary = last_json_line(text)
+    if summary is None:
+        print("check_etap: no JSON summary found", file=sys.stderr)
+        return 1
+
+    failures = []
+    for key in ZERO_FIELDS:
+        if summary.get(key) != 0:
+            failures.append(
+                "%s = %r (want 0)" % (key, summary.get(key)))
+    for key in TRUE_FIELDS:
+        if summary.get(key) is not True:
+            failures.append(
+                "%s = %r (want true)" % (key, summary.get(key)))
+    for key in POSITIVE_FIELDS:
+        if not isinstance(summary.get(key), int) or summary[key] <= 0:
+            failures.append(
+                "%s = %r (want > 0)" % (key, summary.get(key)))
+
+    if failures:
+        for f in failures:
+            print("check_etap: FAIL: " + f, file=sys.stderr)
+        return 1
+    print(
+        "check_etap: OK (%d conclusive cases, %d windows, median "
+        "tightness %.3g)"
+        % (
+            summary.get("conclusive", 0),
+            summary.get("windows_measured", 0),
+            summary.get("median_tightness", 0.0),
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
