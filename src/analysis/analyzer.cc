@@ -373,6 +373,10 @@ struct Ctx
 {
     std::map<std::uint32_t, isa::Instr> code;
     std::set<std::uint32_t> bad; ///< Reachable but undecodable.
+    /** Reachable but never decoded: the discovery node budget ran
+     *  out. Weighted as Unknown so no bound is reported from a
+     *  partial CFG. */
+    std::set<std::uint32_t> overflow;
     std::map<std::uint32_t, std::vector<std::uint32_t>> succ;
     std::map<std::uint32_t, std::vector<std::uint32_t>> pred;
     std::map<std::uint32_t, AbsState> in;
@@ -472,12 +476,21 @@ Analyzer::discover(Ctx &ctx, std::uint32_t entry, View view,
 {
     std::deque<std::uint32_t> work{entry};
     std::set<std::uint32_t> seen{entry};
-    constexpr std::size_t kMaxNodes = 1u << 17;
+    const std::size_t max_nodes =
+        opt.maxNodes ? opt.maxNodes : (std::size_t{1} << 17);
     while (!work.empty()) {
         std::uint32_t pc = work.front();
         work.pop_front();
-        if (ctx.code.size() + ctx.bad.size() > kMaxNodes)
+        if (ctx.code.size() + ctx.bad.size() > max_nodes) {
+            // Budget exhausted: everything still queued (this pc
+            // included) stays undecoded, but its predecessors'
+            // succ edges already point here. Record the frontier so
+            // paths reaching it degrade to Unknown instead of
+            // silently ending with an under-counted cost.
+            ctx.overflow.insert(pc);
+            ctx.overflow.insert(work.begin(), work.end());
             break;
+        }
         std::optional<isa::Instr> in;
         if (universe) {
             auto it = universe->find(pc);
@@ -1066,6 +1079,15 @@ Analyzer::buildWeights(Ctx &ctx, View view)
                          hex(pc, b2));
         ctx.w[pc] = nw;
     }
+    for (std::uint32_t pc : ctx.overflow) {
+        NodeW nw;
+        nw.terminal = true;
+        char b2[16];
+        nw.fl.setUnknown(
+            std::string("analysis node budget exceeded at ") +
+            hex(pc, b2));
+        ctx.w[pc] = nw;
+    }
 }
 
 FuncSum &
@@ -1122,7 +1144,7 @@ Analyzer::funcSummary(std::uint32_t entry)
         sum.statusLoad |= nw.statusLoad;
         sum.nvStore |= nw.nvStore;
     }
-    if (!ctx.bad.empty())
+    if (!ctx.bad.empty() || !ctx.overflow.empty())
         sum.clobbers = 0xFFFF;
 
     std::set<std::uint32_t> nodes;
@@ -1154,6 +1176,8 @@ Analyzer::inferTrips(Ctx &ctx, const std::set<std::uint32_t> &scc,
     if (back.size() != 1)
         return unknown;
     std::uint32_t u = back[0];
+    if (u == header)
+        return unknown; // Back edge cannot double as the loop entry.
     auto at = [&](std::uint32_t pc) -> const isa::Instr * {
         auto it = ctx.code.find(pc);
         return it == ctx.code.end() ? nullptr : &it->second;
@@ -1168,6 +1192,41 @@ Analyzer::inferTrips(Ctx &ctx, const std::set<std::uint32_t> &scc,
     unsigned rc = cmp->rs;
     if (rc == isa::regSp)
         return unknown;
+
+    auto predsOf = [&](std::uint32_t n) {
+        std::set<std::uint32_t> out;
+        auto it = ctx.pred.find(n);
+        if (it != ctx.pred.end())
+            out.insert(it->second.begin(), it->second.end());
+        return out;
+    };
+    // The test must run on fresh flags every trip: the only way onto
+    // the back edge is through the cmp. A branch from the body
+    // straight to the bne would take it on stale flags (and, for the
+    // count-down idiom, skip the decrement), voiding the bound.
+    // Branches *into* the decrement are fine — the counter still
+    // moves every trip (libedb's crc8 skip does exactly that).
+    if (predsOf(u) != std::set<std::uint32_t>{u - 4})
+        return unknown;
+
+    /** True when some body path can leave the loop without reaching
+     *  the bne: the trip count then only has an upper bound. */
+    auto hasEarlyExit = [&] {
+        for (std::uint32_t n : scc) {
+            if (n == u)
+                continue;
+            auto wi = ctx.w.find(n);
+            if (wi != ctx.w.end() && wi->second.terminal)
+                return true;
+            auto si = ctx.succ.find(n);
+            if (si == ctx.succ.end())
+                continue;
+            for (std::uint32_t s : si->second)
+                if (!scc.count(s))
+                    return true;
+        }
+        return false;
+    };
 
     // Reject if anything else in the loop can write the counter.
     auto counterClobbered = [&](std::uint32_t skip_pc) {
@@ -1191,10 +1250,14 @@ Analyzer::inferTrips(Ctx &ctx, const std::set<std::uint32_t> &scc,
     };
 
     // Idiom 1, count-down: addi rc, rc, -1 / cmpi rc, 0 / bne hdr
-    // with a dominating li rc, N immediately above the header.
+    // with a dominating li rc, N immediately above the header. The
+    // cmp may only be entered through the decrement — otherwise a
+    // body branch targeting the cmp directly yields a trip that
+    // tests without decrementing, and the real count exceeds N.
     const isa::Instr *dec = at(u - 8);
     if (dec && dec->op == isa::Opcode::Addi && dec->rd == rc &&
         dec->rs == rc && dec->imm == -1 && scc.count(u - 8) &&
+        predsOf(u - 4) == std::set<std::uint32_t>{u - 8} &&
         !counterClobbered(u - 8)) {
         // Walk up from the header through its unique straight-line
         // predecessor chain looking for the initializer.
@@ -1221,7 +1284,11 @@ Analyzer::inferTrips(Ctx &ctx, const std::set<std::uint32_t> &scc,
                 if (n < 1)
                     return unknown;
                 Trips t;
-                t.lo = t.hi = static_cast<double>(n);
+                t.hi = static_cast<double>(n);
+                // Exactly N trips only when the bne is the sole way
+                // out; a side exit (or halt) in the body caps just
+                // the maximum.
+                t.lo = hasEarlyExit() ? 1.0 : t.hi;
                 t.bounded = true;
                 return t;
             }
@@ -1252,9 +1319,36 @@ Analyzer::inferTrips(Ctx &ctx, const std::set<std::uint32_t> &scc,
         }
     }
     if (found == 1 && !counterClobbered(div_pc)) {
+        // The 33-halving cap needs the divide on EVERY trip: reject
+        // if the back edge is reachable from the header without
+        // passing the divu (edges re-entering the header are a
+        // completed trip, not a bypass).
+        bool skippable = false;
+        if (div_pc != header) {
+            std::set<std::uint32_t> seen{header};
+            std::deque<std::uint32_t> bfs{header};
+            while (!bfs.empty() && !skippable) {
+                std::uint32_t n = bfs.front();
+                bfs.pop_front();
+                auto si = ctx.succ.find(n);
+                if (si == ctx.succ.end())
+                    continue;
+                for (std::uint32_t s : si->second) {
+                    if (s == header || s == div_pc || !scc.count(s))
+                        continue;
+                    if (s == u) {
+                        skippable = true;
+                        break;
+                    }
+                    if (seen.insert(s).second)
+                        bfs.push_back(s);
+                }
+            }
+        }
         const isa::Instr *dv = at(div_pc);
         const AbsState &st = ctx.in[div_pc];
-        if (st.live && st.knows(dv->rt) && st.v[dv->rt] >= 2) {
+        if (!skippable && st.live && st.knows(dv->rt) &&
+            st.v[dv->rt] >= 2) {
             Trips t;
             t.lo = 1;
             t.hi = 33;
@@ -1538,8 +1632,17 @@ Analyzer::run()
 
     bool any_unbounded_clean = false;
     for (std::uint32_t e : entries) {
-        if (!main.code.count(e) && !main.bad.count(e))
+        if (!main.code.count(e) && !main.bad.count(e) &&
+            !main.overflow.count(e))
             continue;
+        // Every reboot into a post-checkpoint region replays the
+        // restore before the first region instruction; its drain
+        // comes out of the same power-on→first-persist window the
+        // oracle measures, so the region must fit what is left.
+        double region_avail = avail;
+        if (m.checkpointing &&
+            e != static_cast<std::uint32_t>(prog.entry))
+            region_avail -= m.restoreChargeMax();
         Ctx rc;
         discover(rc, e, View::Region, &main.code);
         AbsState at_entry;
@@ -1624,7 +1727,7 @@ Analyzer::run()
                     hex(e, buf) + " and every persist point";
         } else if (v.fl.unbounded) {
             if (info.iterChargeMax > 0 &&
-                info.iterChargeMax > avail) {
+                info.iterChargeMax > region_avail) {
                 info.verdict = Verdict::MayStarve;
                 if (rep.reason.empty())
                     rep.reason = std::string("one loop iteration in "
@@ -1635,7 +1738,7 @@ Analyzer::run()
                 info.verdict = Verdict::RunsForever;
                 any_unbounded_clean = true;
             }
-        } else if (info.chargeMax <= avail) {
+        } else if (info.chargeMax <= region_avail) {
             info.verdict = Verdict::Completes;
         } else {
             // S2 (must-starve arithmetic): even from a full

@@ -23,6 +23,7 @@
 #ifndef EDB_ANALYSIS_ANALYZER_HH
 #define EDB_ANALYSIS_ANALYZER_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -79,6 +80,10 @@ struct AnalyzerOptions
     /** Harvester open-circuit voltage ceiling (volts); 0 = unknown.
      *  Caps the charge the capacitor can ever store. */
     double maxSourceVolts = 0.0;
+    /** CFG-discovery node budget override (0 = default 2^17). Code
+     *  beyond the budget degrades the verdict to Unknown rather
+     *  than silently truncating the analyzed graph. */
+    std::size_t maxNodes = 0;
 };
 
 /** Per-checkpoint-region result. */

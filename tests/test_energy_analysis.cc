@@ -287,6 +287,97 @@ loop:
     EXPECT_EQ(rep.regions[0].worstLoop, LoopKind::Productive);
 }
 
+TEST(Loops, SkipOverDecrementVoidsTripBound)
+{
+    // A body branch hops straight onto the trip test, skipping the
+    // decrement: when FRAM holds a non-zero word the counter never
+    // moves and the loop spins forever, so the count-down bound of
+    // 3 trips must NOT be trusted (the dec no longer dominates the
+    // back edge). The body is barren, so the honest verdict is
+    // Starves — and certainly not Completes.
+    TetheredRig rig;
+    auto prog = isa::assemble(withHeader(R"(
+main:
+    la   r4, 0x5000
+    li   r10, 3
+loop:
+    ldw  r2, [r4]
+    cmpi r2, 0
+    bne  skip_dec
+    addi r10, r10, -1
+skip_dec:
+    cmpi r10, 0
+    bne  loop
+    halt
+)"));
+    Report rep = analyzeOn(rig, prog);
+    EXPECT_NE(rep.verdict, Verdict::Completes) << rep.reason;
+    EXPECT_EQ(rep.verdict, Verdict::Starves) << rep.reason;
+    ASSERT_EQ(rep.regions.size(), 1u);
+    EXPECT_FALSE(rep.regions[0].bounded);
+}
+
+TEST(Loops, SkippableDivideVoidsTripBound)
+{
+    // Same hole for the divide-down idiom: the divu only runs when
+    // the FRAM flag is zero, so the 33-halving cap does not apply.
+    TetheredRig rig;
+    auto prog = isa::assemble(withHeader(R"(
+main:
+    la   r4, 0x5000
+    li   r10, 100
+    li   r9, 10
+loop:
+    ldw  r2, [r4]
+    cmpi r2, 0
+    bne  skip_div
+    divu r10, r10, r9
+skip_div:
+    cmpi r10, 0
+    bne  loop
+    halt
+)"));
+    Report rep = analyzeOn(rig, prog);
+    EXPECT_NE(rep.verdict, Verdict::Completes) << rep.reason;
+    ASSERT_EQ(rep.regions.size(), 1u);
+    EXPECT_FALSE(rep.regions[0].bounded);
+}
+
+TEST(Loops, SkipIntoDecrementStaysBounded)
+{
+    // The benign cousin (libedb's crc8 step): the skip branch lands
+    // ON the decrement, so the counter still moves every trip and
+    // the bound holds. Simulated cycles must sit inside the
+    // predicted [min, max] band.
+    TetheredRig rig;
+    auto prog = isa::assemble(withHeader(R"(
+main:
+    li   r10, 8
+loop:
+    andi r4, r1, 0x80
+    shli r1, r1, 1
+    cmpi r4, 0
+    beq  next
+    xori r1, r1, 7
+next:
+    addi r10, r10, -1
+    cmpi r10, 0
+    bne  loop
+    halt
+)"));
+    rig.wisp.flash(prog);
+    rig.wisp.start();
+    Report rep = analyzeOn(rig, prog);
+    ASSERT_EQ(rep.verdict, Verdict::Completes) << rep.reason;
+    ASSERT_EQ(rep.regions.size(), 1u);
+    EXPECT_TRUE(rep.regions[0].bounded);
+    ASSERT_TRUE(rig.runToHalt(5 * sim::oneMs));
+    double cycles =
+        static_cast<double>(rig.wisp.mcu().cycleCount());
+    EXPECT_LE(rep.regions[0].cyclesMin, cycles);
+    EXPECT_GE(rep.regions[0].cyclesMax, cycles);
+}
+
 // ------------------------------------------------------------------
 // Checkpoint-region segmentation.
 
@@ -403,6 +494,87 @@ loop:
     opt3.maxSourceVolts = 3.0;
     Report rep3 = analysis::analyze(prog, m, opt3);
     EXPECT_EQ(rep3.verdict, Verdict::MayStarve) << rep3.reason;
+}
+
+TEST(Starvation, RestoreDrainChargedToPostCheckpointRegions)
+{
+    // Every reboot into a post-checkpoint region replays the
+    // checkpoint restore before the first region instruction. A
+    // budget that fits the region alone but not region + restore
+    // must therefore NOT be declared Completes.
+    target::WispConfig config;
+    config.mcu.checkpointingEnabled = true;
+    TetheredRig rig(config);
+    auto prog = isa::assemble(withHeader(R"(
+main:
+    li   r1, 1
+    chkpt
+    li   r10, 400
+loop:
+    addi r1, r1, 1
+    xori r1, r1, 3
+    addi r10, r10, -1
+    cmpi r10, 0
+    bne  loop
+    halt
+)"));
+    CostModel m = CostModel::fromWisp(rig.wisp);
+    Report wide = analysis::analyze(prog, m);
+    ASSERT_EQ(wide.verdict, Verdict::Completes) << wide.reason;
+    ASSERT_EQ(wide.regions.size(), 2u);
+    double post = wide.regions[1].chargeMax;
+    double restore = m.restoreChargeMax();
+    ASSERT_GT(restore, 0.0);
+
+    // Shrink the capacitor so avail covers the region but only half
+    // the restore burst on top of it.
+    auto withBudget = [&](double budget) {
+        CostModel tight = m;
+        tight.capacitanceF =
+            budget / (m.turnOnVolts - m.brownOutVolts);
+        return analysis::analyze(prog, tight);
+    };
+    Report rep =
+        withBudget(m.bootCharge() + post + 0.5 * restore);
+    ASSERT_EQ(rep.regions.size(), 2u);
+    EXPECT_EQ(rep.regions[1].verdict, Verdict::MayStarve)
+        << rep.reason;
+    EXPECT_NE(rep.verdict, Verdict::Completes) << rep.reason;
+
+    // With the full restore funded the verdict recovers.
+    Report ok =
+        withBudget(m.bootCharge() + post + 1.01 * restore);
+    ASSERT_EQ(ok.regions.size(), 2u);
+    EXPECT_EQ(ok.regions[1].verdict, Verdict::Completes)
+        << ok.reason;
+}
+
+// ------------------------------------------------------------------
+// CFG-discovery truncation must degrade, not silently under-count.
+
+TEST(Truncation, NodeBudgetDegradesToUnknown)
+{
+    TetheredRig rig;
+    auto prog = isa::assemble(withHeader(R"(
+main:
+    addi r1, r1, 1
+    addi r1, r1, 2
+    addi r1, r1, 3
+    addi r1, r1, 4
+    addi r1, r1, 5
+    addi r1, r1, 6
+    addi r1, r1, 7
+    addi r1, r1, 8
+    halt
+)"));
+    AnalyzerOptions opt;
+    opt.maxNodes = 4;
+    Report rep = analyzeOn(rig, prog, opt);
+    EXPECT_EQ(rep.verdict, Verdict::Unknown) << rep.reason;
+    EXPECT_NE(rep.reason.find("node budget"), std::string::npos)
+        << rep.reason;
+    for (const auto &r : rep.regions)
+        EXPECT_FALSE(r.bounded);
 }
 
 // ------------------------------------------------------------------
